@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 10 (accuracy vs latency vs energy, 6 models)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_tradeoff
+
+
+def test_fig10_tradeoff(benchmark, fast_mode, save_artifact):
+    results = benchmark.pedantic(
+        lambda: fig10_tradeoff.run(fast=fast_mode), rounds=1, iterations=1
+    )
+    save_artifact("fig10_tradeoff", fig10_tradeoff.render(results))
+    save_artifact("fig10_breakdowns", fig10_tradeoff.render_detail(results))
+
+    by_model = {r.model: r for r in results}
+    for r in results:
+        lats = [p.norm_latency for p in r.points]
+        ens = [p.norm_energy for p in r.points]
+        # latency and energy fall monotonically with delta
+        assert lats == sorted(lats, reverse=True), r.model
+        assert ens == sorted(ens, reverse=True), r.model
+        assert lats[-1] < 1.0 and ens[-1] < 1.0
+
+    # compressing a large-fraction layer buys much more than a small one
+    for big in ("LeNet-5", "AlexNet", "VGG-16"):
+        for small in ("MobileNet", "Inception-v3", "ResNet50"):
+            assert (
+                by_model[big].points[-1].norm_latency
+                < by_model[small].points[-1].norm_latency
+            )
+
+    # accuracy stays near baseline at the smallest delta
+    for r in results:
+        assert r.points[0].accuracy >= r.baseline_accuracy - 0.05

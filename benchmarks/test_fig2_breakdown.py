@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 2 (LeNet-5 latency/energy breakdown)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_breakdown
+
+
+def test_fig2_breakdown(benchmark, fast_mode, save_artifact):
+    result = benchmark.pedantic(
+        lambda: fig2_breakdown.run(fast=fast_mode), rounds=1, iterations=1
+    )
+    save_artifact("fig2_breakdown", fig2_breakdown.render(result))
+
+    # reproduction assertions: the paper's qualitative claims
+    total = result.total_latency
+    assert total.memory > total.communication + total.computation
+    energy = result.total_energy
+    assert energy.component_total("main_mem") > 0.5 * energy.total
+    by_layer = {l.layer_name: l.latency.total for l in result.layers}
+    assert max(by_layer, key=by_layer.get) == "dense_1"

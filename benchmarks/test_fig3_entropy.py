@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 3 (entropy of weights vs random vs text)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_entropy
+from repro.nn import zoo
+
+
+def test_fig3_entropy(benchmark, fast_mode, save_artifact):
+    result = benchmark.pedantic(
+        lambda: fig3_entropy.run(fast=fast_mode), rounds=1, iterations=1
+    )
+    save_artifact("fig3_entropy", fig3_entropy.render(result))
+
+    # weights look like random data (within 1 bit/byte), text does not
+    for module in zoo.ALL_MODELS:
+        assert result[module.NAME] > result["random"] - 1.0
+        assert result[module.NAME] > result["text"] + 2.0
+    assert result["random"] > 7.9
+    assert result["text"] < 5.0

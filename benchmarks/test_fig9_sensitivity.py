@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 9 (per-layer sensitivity)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_sensitivity
+
+
+def test_fig9_sensitivity(benchmark, fast_mode, save_artifact):
+    results = benchmark.pedantic(
+        lambda: fig9_sensitivity.run(fast=fast_mode), rounds=1, iterations=1
+    )
+    save_artifact("fig9_sensitivity", fig9_sensitivity.render(results))
+
+    for r in results:
+        values = dict(r.normalized)
+        # the selection-policy justification: the first conv layer is
+        # more sensitive than the deep layer the policy selects
+        first_conv = r.normalized[0]
+        assert first_conv[0].startswith("conv")
+        selected = {"LeNet-5": "dense_1", "AlexNet": "dense_2"}[r.model]
+        assert values[first_conv[0]] >= values[selected]

@@ -1,0 +1,17 @@
+"""Bench: regenerate Tab. I (selected-layer parameter fractions)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_layers
+
+
+def test_table1_layers(benchmark, save_artifact):
+    rows = benchmark.pedantic(table1_layers.run, rounds=1, iterations=1)
+    save_artifact("table1_layers", table1_layers.render(rows))
+
+    by_model = {r.model: r for r in rows}
+    for model, (params_k, layer, kind, fraction) in table1_layers.PAPER.items():
+        r = by_model[model]
+        assert r.layer == layer, model
+        assert r.params_k == __import__("pytest").approx(params_k, rel=0.05)
+        assert abs(r.fraction - fraction) < 0.06

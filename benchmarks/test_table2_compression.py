@@ -1,0 +1,32 @@
+"""Bench: regenerate Tab. II (compression efficiency sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2_compression
+
+
+def test_table2_compression(benchmark, fast_mode, save_artifact):
+    sweeps = benchmark.pedantic(
+        lambda: table2_compression.run(fast=fast_mode), rounds=1, iterations=1
+    )
+    save_artifact("table2_compression", table2_compression.render(sweeps))
+
+    for sweep in sweeps:
+        paper = table2_compression.PAPER[sweep.model]
+        crs = [r.cr for r in sweep.reports]
+        # CR grows monotonically with delta, starting at the 1.21 anchor
+        assert crs == sorted(crs)
+        assert crs[0] == pytest.approx(1.21, abs=0.03)
+        for r in sweep.reports:
+            expected_cr = paper[r.delta_pct][0]
+            # shape reproduction: within 35% of the paper at every delta
+            assert r.cr == pytest.approx(expected_cr, rel=0.35), (
+                sweep.model,
+                r.delta_pct,
+            )
+            assert r.weighted_cr <= r.cr + 1e-9
+        # Amdahl behaviour: small-fraction models stay below wCR 2.2
+        if sweep.model in ("MobileNet", "Inception-v3", "ResNet50"):
+            assert max(r.weighted_cr for r in sweep.reports) < 2.2

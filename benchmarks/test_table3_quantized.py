@@ -1,0 +1,23 @@
+"""Bench: regenerate Tab. III (compression on top of int8 quantization)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3_quantized
+
+
+def test_table3_quantized(benchmark, fast_mode, save_artifact):
+    results = benchmark.pedantic(
+        lambda: table3_quantized.run(fast=fast_mode), rounds=1, iterations=1
+    )
+    save_artifact("table3_quantized", table3_quantized.render(results))
+
+    for r in results:
+        # quantization alone compresses ~2-4x
+        assert 1.5 < r.qt_weighted_cr < 4.5
+        # stacking the proposed compression buys further footprint at
+        # small delta without hurting accuracy much
+        first = r.rows[0]
+        assert first.accuracy >= r.qt_accuracy - 0.05
+        wcrs = [row.weighted_cr for row in r.rows]
+        assert wcrs == sorted(wcrs)
+        assert wcrs[-1] > r.qt_weighted_cr

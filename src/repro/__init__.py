@@ -1,0 +1,32 @@
+"""repro — reproduction of Ascia et al., *Improving Inference Latency and
+Energy of Network-on-Chip based Convolutional Neural Networks through
+Weights Compression* (IPPS/IPDPSW 2020).
+
+Package layout
+--------------
+``repro.core``
+    The paper's contribution: weak-monotonic lossy weight compression,
+    the decompression-unit model, quantization, layer selection,
+    sensitivity and the Fig.-8 evaluation pipeline.
+``repro.nn``
+    A from-scratch NumPy CNN framework (inference + SGD training) and a
+    model zoo covering the paper's six networks.
+``repro.datasets``
+    Synthetic MNIST-like and ImageNet-like classification datasets.
+``repro.noc``
+    Flit-level cycle-accurate mesh NoC simulator (Noxim-style) plus a
+    calibrated transaction-level fast model.
+``repro.energy``
+    CACTI-style 45 nm-class energy/timing models and accounting.
+``repro.mapping``
+    Layer tiling, traffic-schedule generation and the top-level
+    ``Accelerator`` that turns a model into latency/energy reports.
+``repro.analysis``
+    Entropy, breakdowns and report rendering.
+``repro.experiments``
+    One module per paper table/figure, regenerating its rows/series.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "nn", "datasets", "noc", "energy", "mapping", "analysis", "experiments"]

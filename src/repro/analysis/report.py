@@ -1,0 +1,62 @@
+"""Plain-text rendering of tables and stacked-bar figures.
+
+Every experiment prints through these helpers so the benchmark harness
+output reads like the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+from .breakdown import LayerBars
+
+__all__ = ["render_table", "render_bars"]
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Fixed-width ASCII table."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            if v != 0 and (abs(v) < 1e-3 or abs(v) >= 1e5):
+                return f"{v:.2e}"
+            return float_fmt.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(bars: list[LayerBars], title: str = "", width: int = 50) -> str:
+    """Horizontal stacked bars with a per-part legend table."""
+    if not bars:
+        return title
+    part_names = list(bars[0].parts)
+    glyphs = "#=+*o.%@&"
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(part_names)
+    )
+    peak = max(b.total for b in bars) or 1.0
+    lines = [title, legend] if title else [legend]
+    label_w = max(len(b.label) for b in bars)
+    for b in bars:
+        bar = ""
+        for i, name in enumerate(part_names):
+            n = int(round(b.parts.get(name, 0.0) / peak * width))
+            bar += glyphs[i % len(glyphs)] * n
+        lines.append(f"{b.label.ljust(label_w)} |{bar} ({b.total:.3f})")
+    return "\n".join(lines)

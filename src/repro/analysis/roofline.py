@@ -1,0 +1,80 @@
+"""Roofline-style bound analysis for the accelerator.
+
+Classifies each layer as memory- or compute-bound by comparing its
+*arithmetic intensity* (MACs per DRAM byte moved) against the machine
+balance of the accelerator (peak MACs/cycle over peak DRAM bytes/cycle).
+The paper's whole premise is that CNN inference on this class of
+accelerator sits far below the balance point — weight traffic, not
+arithmetic, is the wall — and that compressing the weight stream moves
+layers *toward* the compute roof.  This module makes that quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mapping.schedule import LayerSchedule
+
+__all__ = ["MachineBalance", "LayerRoofline", "roofline", "machine_balance"]
+
+
+@dataclass(frozen=True)
+class MachineBalance:
+    """Peak compute and memory rates of one accelerator configuration."""
+
+    peak_macs_per_cycle: int
+    peak_dram_bytes_per_cycle: float
+
+    @property
+    def balance(self) -> float:
+        """MACs per DRAM byte at which compute and memory roofs meet."""
+        return self.peak_macs_per_cycle / self.peak_dram_bytes_per_cycle
+
+
+@dataclass(frozen=True)
+class LayerRoofline:
+    layer: str
+    macs: int
+    dram_bytes: int
+    intensity: float  # MACs per DRAM byte
+    bound: str  # "memory" | "compute"
+    #: attainable MACs/cycle under the roofline model
+    attainable_macs_per_cycle: float
+
+
+def machine_balance(
+    num_pes: int = 12,
+    macs_per_cycle: int = 64,
+    num_channels: int = 4,
+    channel_bytes_per_cycle: float = 8.0,
+) -> MachineBalance:
+    """The paper's configuration: 12 PEs x 64 MACs vs 4 x 8 B/cyc DRAM."""
+    return MachineBalance(
+        peak_macs_per_cycle=num_pes * macs_per_cycle,
+        peak_dram_bytes_per_cycle=num_channels * channel_bytes_per_cycle,
+    )
+
+
+def roofline(
+    schedule: LayerSchedule, balance: MachineBalance | None = None
+) -> LayerRoofline:
+    """Roofline classification of one scheduled layer."""
+    balance = balance or machine_balance()
+    macs = sum(w[5] for w in schedule.pe_work.values())
+    dram = schedule.total_dram_read_bytes + schedule.total_write_bytes
+    if dram <= 0:
+        intensity = float("inf")
+    else:
+        intensity = macs / dram
+    attainable = min(
+        float(balance.peak_macs_per_cycle),
+        intensity * balance.peak_dram_bytes_per_cycle,
+    )
+    return LayerRoofline(
+        layer=schedule.layer_name,
+        macs=macs,
+        dram_bytes=dram,
+        intensity=intensity,
+        bound="compute" if intensity >= balance.balance else "memory",
+        attainable_macs_per_cycle=attainable,
+    )

@@ -1,0 +1,28 @@
+"""Traditional lossless compressors, as negative baselines.
+
+Sec. III-B of the paper argues that weight streams defeat classical
+compression ("their entropy is so high that makes unsuitable the
+application of any traditional compression technique").  These
+implementations make that claim measurable: RLE (repetition), Huffman
+(byte statistics) and LZ77/LZSS (substring dictionary) all achieve a
+compression ratio near (or below) 1.0 on weight streams while working
+normally on text and structured data — see
+``benchmarks/test_baseline_compressors.py``.
+"""
+
+from .huffman import huffman_code, huffman_decode, huffman_encode, huffman_ratio
+from .lz import lz_decode, lz_encode, lz_ratio
+from .rle import rle_decode, rle_encode, rle_ratio
+
+__all__ = [
+    "huffman_code",
+    "huffman_decode",
+    "huffman_encode",
+    "huffman_ratio",
+    "lz_decode",
+    "lz_encode",
+    "lz_ratio",
+    "rle_decode",
+    "rle_encode",
+    "rle_ratio",
+]

@@ -1,0 +1,123 @@
+"""LZ77-style dictionary compressor baseline (zlib-class, simplified).
+
+Dictionary coders exploit *repeated substrings*.  Weight streams have
+essentially none (Fig. 3), so the match rate collapses and the output
+approaches literal size plus framing overhead.  The implementation is a
+hash-chain LZ77 with greedy parsing — deliberately simple, but it
+compresses text and structured data well enough to make the contrast
+with weight streams meaningful.
+
+Token format: a flag byte precedes each group of 8 tokens (1 bit per
+token: literal or match); literals are 1 byte; matches are 3 bytes
+(12-bit distance, 4-bit length-3..18) — the classic LZSS layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lz_encode", "lz_decode", "lz_ratio"]
+
+_MIN_MATCH = 3
+_MAX_MATCH = 18
+_WINDOW = 4096
+
+
+def _as_bytes(data: bytes | np.ndarray) -> bytes:
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data).view(np.uint8).ravel().tobytes()
+    return bytes(data)
+
+
+def lz_encode(data: bytes | np.ndarray) -> bytes:
+    buf = _as_bytes(data)
+    n = len(buf)
+    out = bytearray()
+    tokens: list[tuple] = []  # ("lit", byte) | ("match", dist, length)
+    head: dict[bytes, list[int]] = {}
+    i = 0
+    while i < n:
+        best_len, best_dist = 0, 0
+        if i + _MIN_MATCH <= n:
+            key = buf[i : i + _MIN_MATCH]
+            for j in reversed(head.get(key, ())):
+                if i - j > _WINDOW:
+                    break
+                length = _MIN_MATCH
+                limit = min(_MAX_MATCH, n - i)
+                while length < limit and buf[j + length] == buf[i + length]:
+                    length += 1
+                if length > best_len:
+                    best_len, best_dist = length, i - j
+                    if length == _MAX_MATCH:
+                        break
+        if best_len >= _MIN_MATCH:
+            tokens.append(("match", best_dist, best_len))
+            step = best_len
+        else:
+            tokens.append(("lit", buf[i]))
+            step = 1
+        # index the positions we consume (cap chain length for speed)
+        for k in range(i, min(i + step, n - _MIN_MATCH + 1)):
+            chain = head.setdefault(buf[k : k + _MIN_MATCH], [])
+            chain.append(k)
+            if len(chain) > 16:
+                del chain[0]
+        i += step
+
+    # serialize in groups of 8 tokens with a flag byte
+    for g in range(0, len(tokens), 8):
+        group = tokens[g : g + 8]
+        flags = 0
+        body = bytearray()
+        for bit, tok in enumerate(group):
+            if tok[0] == "match":
+                flags |= 1 << bit
+                _, dist, length = tok
+                body.append(dist & 0xFF)
+                body.append(((dist >> 8) & 0x0F) | ((length - _MIN_MATCH) << 4))
+            else:
+                body.append(tok[1])
+        out.append(flags)
+        out.extend(body)
+    return bytes(out)
+
+
+def lz_decode(blob: bytes) -> bytes:
+    out = bytearray()
+    i = 0
+    n = len(blob)
+    while i < n:
+        flags = blob[i]
+        i += 1
+        for bit in range(8):
+            if i >= n:
+                break
+            if flags & (1 << bit):
+                lo = blob[i]
+                hi = blob[i + 1]
+                i += 2
+                dist = lo | ((hi & 0x0F) << 8)
+                length = (hi >> 4) + _MIN_MATCH
+                if dist == 0 or dist > len(out):
+                    raise ValueError("corrupt LZ stream: bad distance")
+                start = len(out) - dist
+                for k in range(length):  # may self-overlap
+                    out.append(out[start + k])
+            else:
+                out.append(blob[i])
+                i += 1
+    return bytes(out)
+
+
+def lz_ratio(data: bytes | np.ndarray, sample_limit: int = 1 << 18) -> float:
+    """Compression ratio on (a sample of) the data.
+
+    Encoding is O(n) Python; for large streams a prefix sample is
+    representative because LZ match statistics are stationary on both
+    text and weight streams.
+    """
+    buf = _as_bytes(data)[:sample_limit]
+    if not buf:
+        return 1.0
+    return len(buf) / len(lz_encode(buf))

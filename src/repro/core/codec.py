@@ -1,0 +1,108 @@
+"""Byte-level serialization of compressed weight streams.
+
+This is the wire/storage format whose size the compression-ratio numbers
+refer to, and the payload the memory controller actually ships over the
+NoC to the PEs.  Layout (little-endian), matching
+:class:`repro.core.compression.StorageFormat`:
+
+    header:  magic 'RWCS' | u8 version | u8 fmt flags | u32 num_segments
+             | f64 delta
+    body:    num_segments * (slope | intercept | length)
+
+Coefficients are stored at the format's width: 4 bytes = ``float32``,
+3 bytes = ``float32`` with the low mantissa byte dropped (the default
+8-byte-per-segment format calibrated to the paper's delta=0 CR of 1.21),
+2 bytes = ``float16``.  Lengths are ``uint16``.  The O(1) header is
+excluded from compression-ratio accounting, mirroring the paper's
+three-fields-per-segment cost model.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .compression import CompressedStream, StorageFormat
+
+__all__ = ["encode", "decode", "HEADER_BYTES"]
+
+_MAGIC = b"RWCS"
+_VERSION = 2
+_HEADER = struct.Struct("<4sBBI d")
+HEADER_BYTES = _HEADER.size
+
+_FLAG_INT8 = 0x01
+
+
+def _pack_coeff(values: np.ndarray, nbytes: int) -> np.ndarray:
+    """Pack float coefficients into an ``(n, nbytes)`` uint8 array."""
+    if nbytes == 2:
+        return values.astype(np.float16).view(np.uint8).reshape(-1, 2)
+    raw = np.ascontiguousarray(values.astype(np.float32)).view(np.uint8).reshape(-1, 4)
+    if nbytes == 4:
+        return raw
+    if nbytes == 3:
+        return raw[:, 1:]  # little-endian: byte 0 is the low mantissa byte
+    raise ValueError(f"unsupported coefficient width: {nbytes}")
+
+
+def _unpack_coeff(raw: np.ndarray, nbytes: int) -> np.ndarray:
+    """Inverse of :func:`_pack_coeff`; returns float64."""
+    if nbytes == 2:
+        return raw.reshape(-1, 2).copy().view(np.float16).ravel().astype(np.float64)
+    if nbytes == 4:
+        return raw.reshape(-1, 4).copy().view(np.float32).ravel().astype(np.float64)
+    if nbytes == 3:
+        full = np.zeros((raw.shape[0] // 3 if raw.ndim == 1 else raw.shape[0], 4), np.uint8)
+        full[:, 1:] = raw.reshape(-1, 3)
+        return full.view(np.float32).ravel().astype(np.float64)
+    raise ValueError(f"unsupported coefficient width: {nbytes}")
+
+
+def encode(stream: CompressedStream) -> bytes:
+    """Serialize a compressed stream to bytes."""
+    fmt = stream.fmt
+    flags = _FLAG_INT8 if fmt.weight_bytes == 1 else 0
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, flags, stream.num_segments, float(stream.delta)
+    )
+    n = stream.num_segments
+    if stream.lengths.size and int(stream.lengths.max()) > fmt.max_segment_length:
+        raise ValueError("segment length exceeds the storage format's length field")
+    body = np.empty((n, fmt.segment_bytes), dtype=np.uint8)
+    body[:, : fmt.slope_bytes] = _pack_coeff(stream.m, fmt.slope_bytes)
+    body[:, fmt.slope_bytes : fmt.slope_bytes + fmt.intercept_bytes] = _pack_coeff(
+        stream.q, fmt.intercept_bytes
+    )
+    body[:, -fmt.length_bytes :] = (
+        stream.lengths.astype("<u2").view(np.uint8).reshape(-1, 2)
+    )
+    return header + body.tobytes()
+
+
+def decode(data: bytes) -> CompressedStream:
+    """Parse bytes produced by :func:`encode` back into a stream."""
+    if len(data) < HEADER_BYTES:
+        raise ValueError("truncated compressed stream (missing header)")
+    magic, version, flags, num_segments, delta = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic {magic!r}, expected {_MAGIC!r}")
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version}")
+    fmt = StorageFormat.int8() if flags & _FLAG_INT8 else StorageFormat.float32()
+    expected = HEADER_BYTES + num_segments * fmt.segment_bytes
+    if len(data) != expected:
+        raise ValueError(f"body size mismatch: got {len(data)}, expected {expected}")
+    body = np.frombuffer(data, dtype=np.uint8, offset=HEADER_BYTES).reshape(
+        num_segments, fmt.segment_bytes
+    )
+    m = _unpack_coeff(body[:, : fmt.slope_bytes], fmt.slope_bytes)
+    q = _unpack_coeff(
+        body[:, fmt.slope_bytes : fmt.slope_bytes + fmt.intercept_bytes],
+        fmt.intercept_bytes,
+    )
+    lengths = (
+        body[:, -fmt.length_bytes :].copy().view("<u2").ravel().astype(np.int64)
+    )
+    return CompressedStream(m=m, q=q, lengths=lengths, delta=float(delta), fmt=fmt)

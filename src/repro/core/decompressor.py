@@ -1,0 +1,103 @@
+"""Cycle-level model of the on-PE decompression unit (Sec. III-C, Fig. 6).
+
+The hardware unit is a two-state FSM driving an accumulator datapath:
+
+* **Init** — latch ``q_i`` into the accumulator and emit ``w~_1 = q_i``;
+* **Run** — each cycle add ``m_i`` and emit ``w~_j = w~_{j-1} + m_i``
+  until ``|M_i|`` weights have been produced (Eq. (2)).
+
+No multiplier is required; the paper contrasts this with a naive
+``m * x + q`` datapath.  We model both so the multiplier-free claim can
+be quantified (cycles are identical — one weight per cycle — but the
+energy per emitted weight differs; see :mod:`repro.energy.params`).
+
+Numerical faithfulness: the accumulator is ``float32`` (or ``float16``
+for the int8 storage format), so the emitted stream differs slightly
+from the mathematically evaluated line for long segments.
+``decompress_accumulate`` reproduces the accumulator bit pattern exactly
+(NumPy's ``cumsum`` is sequential, so a per-segment ``float32`` cumsum
+*is* the hardware recurrence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .compression import CompressedStream
+
+__all__ = ["DecompressorTiming", "DecompressionUnit", "decompress_accumulate"]
+
+
+@dataclass(frozen=True)
+class DecompressorTiming:
+    """Cycle costs of the decompression unit.
+
+    ``init_cycles`` covers fetching a segment descriptor and loading the
+    accumulator (the FSM *Init* state); ``run_cycles_per_weight`` is the
+    steady-state throughput of the *Run* state (1 weight/cycle in the
+    paper's design).
+    """
+
+    init_cycles: int = 1
+    run_cycles_per_weight: int = 1
+
+
+def decompress_accumulate(
+    stream: CompressedStream, acc_dtype=np.float32
+) -> np.ndarray:
+    """Bit-faithful accumulator decompression of a compressed stream.
+
+    Builds, per segment, the array ``[q, m, m, ...]`` and cumulative-sums
+    it in the accumulator dtype, which reproduces the sequential
+    recurrence of Eq. (2) exactly.  Python loops only over *segments*
+    (not weights); for accuracy studies prefer
+    :meth:`CompressedStream.decompress`, which is fully vectorized but
+    evaluates the line in float64.
+    """
+    m, q = stream.storage_coefficients()
+    lengths = np.asarray(stream.lengths, dtype=np.int64)
+    n = int(lengths.sum())
+    out = np.empty(n, dtype=acc_dtype)
+    pos = 0
+    for mi, qi, li in zip(m.astype(acc_dtype), q.astype(acc_dtype), lengths):
+        li = int(li)
+        seg = np.empty(li, dtype=acc_dtype)
+        seg[0] = qi
+        if li > 1:
+            seg[1:] = mi
+            np.cumsum(seg, dtype=acc_dtype, out=seg)
+        out[pos : pos + li] = seg
+        pos += li
+    return out
+
+
+@dataclass
+class DecompressionUnit:
+    """Timing/energy facade used by the PE model.
+
+    The unit streams segment descriptors from the PE's local memory and
+    emits one approximated weight per cycle after a per-segment init
+    penalty.  :meth:`cycles` is what the NoC/PE simulator charges for
+    decompressing a whole layer tile.
+    """
+
+    timing: DecompressorTiming = DecompressorTiming()
+
+    def cycles(self, stream: CompressedStream) -> int:
+        """Total cycles to emit every weight of ``stream``."""
+        t = self.timing
+        return int(
+            stream.num_segments * t.init_cycles
+            + stream.num_weights * t.run_cycles_per_weight
+        )
+
+    def cycles_for(self, num_weights: int, num_segments: int) -> int:
+        """Cycle cost from aggregate counts (transaction-level model)."""
+        t = self.timing
+        return int(num_segments * t.init_cycles + num_weights * t.run_cycles_per_weight)
+
+    def emit(self, stream: CompressedStream) -> np.ndarray:
+        """The weights the PE actually computes with (float32 datapath)."""
+        return decompress_accumulate(stream, acc_dtype=np.float32)

@@ -1,0 +1,157 @@
+"""Whole-model compressed archives.
+
+The deployable artifact of this system: a container holding, per layer,
+either the wire-format compressed weight stream (for layers the
+selection policy / multi-layer optimizer chose) or the raw tensor, plus
+everything needed to restore an inference-ready model.  This is what a
+host would flash into the accelerator's parameter storage.
+
+Format: a ``.npz`` with
+  ``meta.layers``              ordered layer names (JSON)
+  ``meta.assignments``         layer -> delta_pct for compressed layers
+  ``compressed.<name>``        codec bytes (uint8) for compressed layers
+  ``shape.<name>``             original tensor shape
+  ``raw.<name>``               raw float32 tensor for untouched layers
+  ``state.<key>``              non-weight model state (biases, BN, ...)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.graph import Model
+from .codec import decode, encode
+from .compression import compress_percent
+
+__all__ = ["ModelArchive", "compress_model", "load_archive"]
+
+
+@dataclass
+class ModelArchive:
+    """In-memory form of a compressed model container."""
+
+    #: layer -> delta_pct used
+    assignments: dict[str, float]
+    #: layer -> (codec bytes, original shape)
+    compressed: dict[str, tuple[bytes, tuple[int, ...]]]
+    #: layer -> raw weight tensor (not compressed)
+    raw: dict[str, np.ndarray]
+    #: everything else the model needs (biases, BN stats, ...)
+    state: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def compressed_weight_bytes(self) -> int:
+        return sum(len(blob) for blob, _ in self.compressed.values())
+
+    @property
+    def raw_weight_bytes(self) -> int:
+        return sum(a.nbytes for a in self.raw.values())
+
+    def weights_footprint(self) -> int:
+        """Parameter-storage bytes (weight tensors only)."""
+        return self.compressed_weight_bytes + self.raw_weight_bytes
+
+    # -- persistence -------------------------------------------------------
+    def to_file(self, path: str | Path) -> None:
+        arrays: dict[str, np.ndarray] = {
+            "meta.layers": np.frombuffer(
+                json.dumps(sorted(set(self.compressed) | set(self.raw))).encode(),
+                dtype=np.uint8,
+            ),
+            "meta.assignments": np.frombuffer(
+                json.dumps(self.assignments).encode(), dtype=np.uint8
+            ),
+        }
+        for name, (blob, shape) in self.compressed.items():
+            arrays[f"compressed.{name}"] = np.frombuffer(blob, dtype=np.uint8)
+            arrays[f"shape.{name}"] = np.asarray(shape, dtype=np.int64)
+        for name, arr in self.raw.items():
+            arrays[f"raw.{name}"] = arr
+        for key, arr in self.state.items():
+            arrays[f"state.{key}"] = arr
+        np.savez_compressed(path, **arrays)
+
+    # -- application -------------------------------------------------------
+    def apply(self, model: Model) -> None:
+        """Install the archive's weights into a model (decompressing)."""
+        for name, (blob, shape) in self.compressed.items():
+            stream = decode(blob)
+            model.set_weights(name, stream.decompress().reshape(shape))
+        for name, arr in self.raw.items():
+            model.set_weights(name, arr)
+        if self.state:
+            # merge: archive state keys override, others stay
+            current = model.state_dict()
+            for key, arr in self.state.items():
+                if key not in current:
+                    raise ValueError(f"archive state key {key!r} unknown to model")
+                current[key] = arr
+            model.load_state_dict(current)
+
+
+def compress_model(
+    model: Model,
+    assignments: dict[str, float],
+    include_state: bool = True,
+) -> ModelArchive:
+    """Build an archive from a trained model and a delta assignment.
+
+    Layers named in ``assignments`` are stored as codec streams at their
+    delta; every other parametric layer is stored raw.  With
+    ``include_state`` the non-weight state (biases, batch-norm
+    statistics) rides along so :meth:`ModelArchive.apply` fully restores
+    inference behaviour.
+    """
+    parametric = dict(model.parametric_layers())
+    unknown = set(assignments) - set(parametric)
+    if unknown:
+        raise ValueError(f"assignments for unknown layers: {sorted(unknown)}")
+    compressed = {}
+    raw = {}
+    for name in parametric:
+        weights = model.get_weights(name)
+        if name in assignments:
+            stream = compress_percent(weights.ravel(), assignments[name])
+            compressed[name] = (encode(stream), tuple(weights.shape))
+        else:
+            raw[name] = weights.copy()
+    state = {}
+    if include_state:
+        weight_keys = {f"{n}.param0" for n in parametric}
+        state = {
+            k: v.copy()
+            for k, v in model.state_dict().items()
+            if k not in weight_keys
+        }
+    return ModelArchive(
+        assignments=dict(assignments), compressed=compressed, raw=raw, state=state
+    )
+
+
+def load_archive(path: str | Path) -> ModelArchive:
+    with np.load(path) as data:
+        assignments = json.loads(bytes(data["meta.assignments"]).decode())
+        compressed = {}
+        raw = {}
+        state = {}
+        for key in data.files:
+            if key.startswith("compressed."):
+                name = key[len("compressed.") :]
+                compressed[name] = (
+                    bytes(data[key]),
+                    tuple(int(v) for v in data[f"shape.{name}"]),
+                )
+            elif key.startswith("raw."):
+                raw[key[len("raw.") :]] = data[key]
+            elif key.startswith("state."):
+                state[key[len("state.") :]] = data[key]
+    return ModelArchive(
+        assignments={k: float(v) for k, v in assignments.items()},
+        compressed=compressed,
+        raw=raw,
+        state=state,
+    )

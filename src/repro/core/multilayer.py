@@ -1,0 +1,184 @@
+"""Multi-layer compression with per-layer tolerance selection.
+
+The paper compresses a single layer and leaves as future work "a
+technique aimed at selecting the set of layers to be compressed and,
+for each of them, the appropriate compression level to be used
+according to the most profitable energy/latency/accuracy trade-off"
+(Sec. V).  This module implements that technique for proxy models:
+
+1. **Candidate generation** — for every parametric layer and every
+   delta in a grid, compress the layer alone and measure (a) the
+   footprint saving on the *full-scale* architecture and (b) the
+   accuracy drop on the proxy's test set.
+2. **Greedy assembly** — add (layer, delta) assignments in order of
+   saving per unit accuracy-drop, re-measuring the *joint* accuracy
+   after each addition (per-layer drops do not compose additively;
+   the greedy re-check keeps the result feasible), until the accuracy
+   budget is exhausted or no candidate helps.
+
+The output maps layer names to delta values, directly consumable by
+``Accelerator.run_model`` via per-layer ``CompressionEffect``s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.arch import ArchSpec
+from ..nn.graph import Model
+from ..nn.train import evaluate
+from .compression import compress_percent
+from .pipeline import apply_compression
+
+__all__ = ["Candidate", "MultiLayerPlan", "optimize_multilayer"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    layer: str
+    delta_pct: float
+    #: bytes saved on the full-scale model
+    saving_bytes: int
+    #: accuracy drop measured with this candidate applied alone
+    solo_drop: float
+
+
+@dataclass
+class MultiLayerPlan:
+    """Result of the optimizer."""
+
+    assignments: dict[str, float]  # layer -> delta_pct
+    accuracy: float
+    baseline_accuracy: float
+    saving_bytes: int
+    total_bytes: int
+
+    @property
+    def footprint_reduction(self) -> float:
+        return self.saving_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.baseline_accuracy - self.accuracy
+
+
+def _acc(model: Model, x, y, top_k: int) -> float:
+    res = evaluate(model, x, y)
+    return res.top1 if top_k == 1 else res.top5
+
+
+def _full_scale_saving(spec: ArchSpec, layer: str, delta_pct: float, seed: int) -> int:
+    weights = spec.materialize(layer, seed=seed).ravel()
+    stream = compress_percent(weights, delta_pct)
+    return max(0, stream.original_bytes - stream.compressed_bytes)
+
+
+def optimize_multilayer(
+    model: Model,
+    spec: ArchSpec,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    max_accuracy_drop: float,
+    delta_grid=(5.0, 10.0, 15.0, 20.0),
+    top_k: int = 1,
+    min_depth_fraction: float = 0.4,
+    seed: int = 0,
+) -> MultiLayerPlan:
+    """Greedy multi-layer delta assignment under an accuracy budget.
+
+    ``model`` is the trained proxy (accuracy oracle); ``spec`` is the
+    full-scale architecture (footprint accounting).  Only layers present
+    in *both* and deep enough (per ``min_depth_fraction``, following the
+    sensitivity analysis) are considered.
+    """
+    if max_accuracy_drop < 0:
+        raise ValueError("max_accuracy_drop must be non-negative")
+    baseline = _acc(model, x_test, y_test, top_k)
+
+    full_layers = {l.name: l for l in spec.parametric_layers()}
+    max_depth = max(l.depth for l in full_layers.values())
+    depth_cut = min_depth_fraction * max_depth
+    eligible = [
+        name
+        for name, layer in model.parametric_layers()
+        if name in full_layers and full_layers[name].depth >= depth_cut
+    ]
+    if not eligible:
+        raise ValueError("no eligible layers shared between proxy and spec")
+
+    # 1. candidates: solo accuracy drop + full-scale saving
+    candidates: list[Candidate] = []
+    for name in eligible:
+        for delta in delta_grid:
+            _, original = apply_compression(model, name, float(delta))
+            drop = baseline - _acc(model, x_test, y_test, top_k)
+            model.set_weights(name, original)
+            if drop > max_accuracy_drop:
+                continue  # infeasible even alone
+            candidates.append(
+                Candidate(
+                    layer=name,
+                    delta_pct=float(delta),
+                    saving_bytes=_full_scale_saving(spec, name, float(delta), seed),
+                    solo_drop=drop,
+                )
+            )
+    # best (highest saving) candidate per layer first, ranked by
+    # saving per unit of (clamped) solo drop
+    candidates.sort(
+        key=lambda c: c.saving_bytes / (max(c.solo_drop, 0.0) + 1e-3),
+        reverse=True,
+    )
+
+    # 2. greedy assembly with joint re-measurement
+    assignments: dict[str, float] = {}
+    originals: dict[str, np.ndarray] = {}
+    current_acc = baseline
+    try:
+        for cand in candidates:
+            if cand.layer in assignments and assignments[cand.layer] >= cand.delta_pct:
+                continue
+            # tentatively apply (possibly replacing a milder delta)
+            if cand.layer in assignments:
+                model.set_weights(cand.layer, originals[cand.layer])
+            else:
+                originals[cand.layer] = model.get_weights(cand.layer).copy()
+            stream = compress_percent(
+                originals[cand.layer].ravel(), cand.delta_pct
+            )
+            model.set_weights(
+                cand.layer,
+                stream.decompress().reshape(originals[cand.layer].shape),
+            )
+            acc = _acc(model, x_test, y_test, top_k)
+            if baseline - acc <= max_accuracy_drop:
+                assignments[cand.layer] = cand.delta_pct
+                current_acc = acc
+            else:  # revert
+                if cand.layer in assignments:
+                    prev = compress_percent(
+                        originals[cand.layer].ravel(), assignments[cand.layer]
+                    )
+                    model.set_weights(
+                        cand.layer,
+                        prev.decompress().reshape(originals[cand.layer].shape),
+                    )
+                else:
+                    model.set_weights(cand.layer, originals.pop(cand.layer))
+    finally:
+        for name, w in originals.items():
+            model.set_weights(name, w)
+
+    saving = sum(
+        _full_scale_saving(spec, name, delta, seed)
+        for name, delta in assignments.items()
+    )
+    return MultiLayerPlan(
+        assignments=assignments,
+        accuracy=current_acc,
+        baseline_accuracy=baseline,
+        saving_bytes=saving,
+        total_bytes=spec.total_params * 4,
+    )

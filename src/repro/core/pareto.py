@@ -1,0 +1,75 @@
+"""Pareto-front utilities for the accuracy / latency / energy space.
+
+The paper's contribution (3) is precisely that the tunable delta lets a
+designer "play in the multi-objective design space accuracy vs. latency
+vs. energy, selecting the most appropriate Pareto point".  These helpers
+extract that front from a delta sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DesignPoint", "pareto_front", "dominates", "knee_point"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One delta configuration in objective space.
+
+    ``accuracy`` is maximized; ``latency`` and ``energy`` (normalized to
+    the uncompressed model) are minimized.
+    """
+
+    label: str
+    accuracy: float
+    latency: float
+    energy: float
+
+
+def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+    """True iff ``a`` is at least as good as ``b`` everywhere and better somewhere."""
+    at_least = (
+        a.accuracy >= b.accuracy and a.latency <= b.latency and a.energy <= b.energy
+    )
+    strictly = (
+        a.accuracy > b.accuracy or a.latency < b.latency or a.energy < b.energy
+    )
+    return at_least and strictly
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated subset, in input order."""
+    return [
+        p
+        for p in points
+        if not any(dominates(q, p) for q in points if q is not p)
+    ]
+
+
+def knee_point(
+    points: list[DesignPoint],
+    max_accuracy_drop: float,
+    baseline_accuracy: float | None = None,
+) -> DesignPoint:
+    """The headline-style operating point (cf. the paper's abstract:
+    "up to 63 % latency reduction ... with less than 5 % accuracy
+    degradation").
+
+    Among points whose accuracy drop from the baseline is within
+    ``max_accuracy_drop``, return the one with the lowest latency
+    (energy breaking ties).
+    """
+    if not points:
+        raise ValueError("no design points given")
+    base = baseline_accuracy if baseline_accuracy is not None else max(
+        p.accuracy for p in points
+    )
+    admissible = [p for p in points if base - p.accuracy <= max_accuracy_drop]
+    if not admissible:
+        raise ValueError(
+            f"no point within {max_accuracy_drop} of baseline accuracy {base}"
+        )
+    return min(admissible, key=lambda p: (p.latency, p.energy))

@@ -1,0 +1,126 @@
+"""End-to-end evaluation flow of the paper's Fig. 8.
+
+``CompressionPipeline`` wires the blocks together for a trainable proxy
+model: *Layer Selection* -> *parameter extraction* -> *compression
+(delta)* -> *decompression* -> *approximated network* -> *test-set
+accuracy*, returning one record per delta value.  The latency/energy leg
+of Fig. 8 (the simulation platform) lives in
+:mod:`repro.mapping.accelerator`; :mod:`repro.experiments.fig10_tradeoff`
+joins the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.graph import Model
+from ..nn.train import evaluate
+from .compression import CompressedStream, StorageFormat, compress_percent
+from .layer_selection import select_layer_model
+from .quantization import quantize_tensor
+
+__all__ = ["DeltaRecord", "CompressionPipeline", "apply_compression"]
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """Accuracy outcome of one delta configuration (one Fig. 10 bar)."""
+
+    delta_pct: float
+    top1: float
+    top5: float
+    cr: float
+    mse: float
+    num_segments: int
+
+
+def apply_compression(
+    model: Model,
+    layer_name: str,
+    delta_pct: float,
+    fmt: StorageFormat | None = None,
+) -> tuple[CompressedStream, np.ndarray]:
+    """Compress one layer in place; returns (stream, original weights).
+
+    The layer's weight tensor is replaced by the decompressed
+    approximation (C-order round trip), exactly as the evaluation flow
+    prescribes.  Callers restore with ``model.set_weights(layer_name,
+    original)``.
+    """
+    original = model.get_weights(layer_name).copy()
+    stream = compress_percent(original.ravel(), delta_pct, fmt=fmt)
+    approx = stream.decompress(dtype=np.float32).reshape(original.shape)
+    model.set_weights(layer_name, approx)
+    return stream, original
+
+
+class CompressionPipeline:
+    """Fig. 8 flow for a trained proxy model.
+
+    Parameters
+    ----------
+    model:
+        A *trained* proxy model (training is the caller's business; see
+        ``repro.experiments.common.trained_proxy``).
+    x_test, y_test:
+        Held-out evaluation data.
+    layer_name:
+        Compression target; defaults to the paper's selection policy.
+    quantize_first:
+        If True, the selected layer is int8-quantized before compression
+        (the Tab. III stacking experiment) and compression runs on the
+        int8 value stream with the int8 storage format.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        layer_name: str | None = None,
+        quantize_first: bool = False,
+    ) -> None:
+        self.model = model
+        self.x_test = x_test
+        self.y_test = y_test
+        self.layer_name = layer_name or select_layer_model(model)
+        self.quantize_first = quantize_first
+        self.baseline = evaluate(model, x_test, y_test)
+
+    def run_delta(self, delta_pct: float) -> DeltaRecord:
+        """Evaluate one delta value; the model is restored afterwards."""
+        original = self.model.get_weights(self.layer_name).copy()
+        try:
+            if self.quantize_first:
+                qt = quantize_tensor(original)
+                int8_stream = qt.values.astype(np.float32).ravel()
+                stream = compress_percent(
+                    int8_stream, delta_pct, fmt=StorageFormat.int8()
+                )
+                approx_q = stream.decompress(dtype=np.float32)
+                approx = (
+                    (approx_q - np.float32(qt.zero_point)) * np.float32(qt.scale)
+                ).reshape(original.shape)
+                mse = float(np.mean((approx - original.astype(np.float64)) ** 2))
+            else:
+                stream = compress_percent(original.ravel(), delta_pct)
+                approx = stream.decompress(dtype=np.float32).reshape(original.shape)
+                mse = stream.mse(original.ravel())
+            self.model.set_weights(self.layer_name, approx)
+            result = evaluate(self.model, self.x_test, self.y_test)
+        finally:
+            self.model.set_weights(self.layer_name, original)
+        return DeltaRecord(
+            delta_pct=delta_pct,
+            top1=result.top1,
+            top5=result.top5,
+            cr=stream.compression_ratio,
+            mse=mse,
+            num_segments=stream.num_segments,
+        )
+
+    def sweep(self, delta_grid) -> list[DeltaRecord]:
+        """Run the full delta sweep of Tab. II / Fig. 10."""
+        return [self.run_delta(float(d)) for d in delta_grid]

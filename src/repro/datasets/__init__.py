@@ -1,0 +1,16 @@
+"""Synthetic datasets standing in for MNIST / ImageNet (see DESIGN.md)."""
+
+from .digits import make_digits, render_digit
+from .loaders import Split, batches, dataset_for_input, train_test
+from .synthimage import SynthImageConfig, make_synth_images
+
+__all__ = [
+    "make_digits",
+    "render_digit",
+    "Split",
+    "batches",
+    "dataset_for_input",
+    "train_test",
+    "SynthImageConfig",
+    "make_synth_images",
+]

@@ -1,0 +1,106 @@
+"""Procedural MNIST-like digit dataset.
+
+The paper evaluates LeNet-5 (and, in Tab. III, AlexNet) on MNIST.  With
+no network access we synthesize an equivalent task: 28x28 grayscale
+images of the ten digits, rendered procedurally from stroke templates
+and perturbed per sample (translation, elastic jitter, stroke thickness,
+pixel noise).  The task has the properties the evaluation needs: it is
+learnable to high accuracy by LeNet-class models, and perturbing the
+trained weights degrades accuracy smoothly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DIGIT_SEGMENTS", "render_digit", "make_digits"]
+
+# Seven-segment-plus-diagonals stroke templates on a [0,1]^2 canvas.
+# Each stroke is ((x0, y0), (x1, y1)) in canvas coordinates.
+_T, _M, _B = 0.15, 0.5, 0.85  # top / middle / bottom rows
+_L, _R = 0.25, 0.75  # left / right columns
+
+DIGIT_SEGMENTS: dict[int, list[tuple[tuple[float, float], tuple[float, float]]]] = {
+    0: [((_L, _T), (_R, _T)), ((_R, _T), (_R, _B)), ((_R, _B), (_L, _B)),
+        ((_L, _B), (_L, _T))],
+    1: [((0.5, _T), (0.5, _B)), ((0.38, 0.28), (0.5, _T))],
+    2: [((_L, _T), (_R, _T)), ((_R, _T), (_R, _M)), ((_R, _M), (_L, _M)),
+        ((_L, _M), (_L, _B)), ((_L, _B), (_R, _B))],
+    3: [((_L, _T), (_R, _T)), ((_R, _T), (_R, _B)), ((_L, _M), (_R, _M)),
+        ((_L, _B), (_R, _B))],
+    4: [((_L, _T), (_L, _M)), ((_L, _M), (_R, _M)), ((_R, _T), (_R, _B))],
+    5: [((_R, _T), (_L, _T)), ((_L, _T), (_L, _M)), ((_L, _M), (_R, _M)),
+        ((_R, _M), (_R, _B)), ((_R, _B), (_L, _B))],
+    6: [((_R, _T), (_L, _T)), ((_L, _T), (_L, _B)), ((_L, _B), (_R, _B)),
+        ((_R, _B), (_R, _M)), ((_R, _M), (_L, _M))],
+    7: [((_L, _T), (_R, _T)), ((_R, _T), (0.45, _B))],
+    8: [((_L, _T), (_R, _T)), ((_R, _T), (_R, _B)), ((_R, _B), (_L, _B)),
+        ((_L, _B), (_L, _T)), ((_L, _M), (_R, _M))],
+    9: [((_R, _M), (_L, _M)), ((_L, _M), (_L, _T)), ((_L, _T), (_R, _T)),
+        ((_R, _T), (_R, _B))],
+}
+
+
+def render_digit(
+    digit: int,
+    rng: np.random.Generator,
+    size: int = 28,
+    thickness: float | None = None,
+) -> np.ndarray:
+    """Render one digit as a ``(size, size)`` float32 image in [0, 1].
+
+    Strokes are drawn as soft capsules (distance-to-segment falloff)
+    with random per-sample translation, rotation-like shear, stroke
+    thickness and additive noise.
+    """
+    if digit not in DIGIT_SEGMENTS:
+        raise ValueError(f"digit must be 0..9, got {digit}")
+    thickness = thickness if thickness is not None else rng.uniform(0.045, 0.08)
+    dx, dy = rng.uniform(-0.08, 0.08, size=2)
+    shear = rng.uniform(-0.15, 0.15)
+    scale = rng.uniform(0.85, 1.1)
+
+    ys, xs = np.mgrid[0:size, 0:size]
+    # canvas coords of each pixel, inverse-transformed
+    px = (xs + 0.5) / size
+    py = (ys + 0.5) / size
+    cx = (px - 0.5 - dx) / scale + 0.5
+    cy = (py - 0.5 - dy) / scale + 0.5
+    cx = cx - shear * (cy - 0.5)
+
+    img = np.zeros((size, size), dtype=np.float64)
+    for (x0, y0), (x1, y1) in DIGIT_SEGMENTS[digit]:
+        # jitter stroke endpoints slightly
+        jx0, jy0, jx1, jy1 = rng.uniform(-0.02, 0.02, size=4)
+        ax, ay = x0 + jx0, y0 + jy0
+        bx, by = x1 + jx1, y1 + jy1
+        vx, vy = bx - ax, by - ay
+        norm2 = vx * vx + vy * vy + 1e-12
+        t = np.clip(((cx - ax) * vx + (cy - ay) * vy) / norm2, 0.0, 1.0)
+        dist2 = (cx - (ax + t * vx)) ** 2 + (cy - (ay + t * vy)) ** 2
+        img = np.maximum(img, np.exp(-dist2 / (2 * thickness**2)))
+
+    img += rng.normal(0.0, 0.08, size=img.shape)
+    return np.clip(img, 0.0, 1.0).astype(np.float32)
+
+
+def make_digits(
+    n: int,
+    seed: int = 0,
+    size: int = 28,
+    channels: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``n`` labelled digit images, shape ``(n, channels, size, size)``.
+
+    Labels are balanced across the ten classes.  ``channels > 1``
+    replicates the grayscale image (for proxies expecting RGB input).
+    """
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 10
+    rng.shuffle(labels)
+    x = np.empty((n, 1, size, size), dtype=np.float32)
+    for i, d in enumerate(labels):
+        x[i, 0] = render_digit(int(d), rng, size=size)
+    if channels > 1:
+        x = np.repeat(x, channels, axis=1)
+    return x, labels.astype(np.int64)

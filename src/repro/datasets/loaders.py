@@ -1,0 +1,118 @@
+"""Dataset splits, batching and per-model dataset selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .digits import make_digits
+from .synthimage import SynthImageConfig, make_synth_images
+
+__all__ = ["Split", "train_test", "batches", "dataset_for_input"]
+
+
+@dataclass(frozen=True)
+class Split:
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y_train.max()) + 1
+
+
+def train_test(
+    kind: str,
+    n_train: int,
+    n_test: int,
+    seed: int = 0,
+    **kwargs,
+) -> Split:
+    """Build a train/test split of a synthetic dataset.
+
+    ``kind`` is ``"digits"`` or ``"synth"``.  Train and test samples are
+    drawn with different sample seeds but (for ``synth``) identical class
+    prototypes, so the test set measures generalization, not
+    memorization.
+    """
+    if kind == "digits":
+        x_tr, y_tr = make_digits(n_train, seed=seed, **kwargs)
+        x_te, y_te = make_digits(n_test, seed=seed + 10_000, **kwargs)
+    elif kind == "synth":
+        config = kwargs.pop("config", SynthImageConfig())
+        if kwargs:
+            raise TypeError(f"unexpected kwargs for synth dataset: {kwargs}")
+        x_tr, y_tr = make_synth_images(n_train, config=config, seed=seed)
+        # same prototype seed (= same classes), different sample stream
+        x_te, y_te = _synth_same_classes(n_test, config, seed)
+    else:
+        raise ValueError(f"unknown dataset kind {kind!r}")
+    return Split(x_tr, y_tr, x_te, y_te)
+
+
+def _synth_same_classes(n: int, config: SynthImageConfig, seed: int):
+    """Synth samples reusing ``seed``'s prototypes with fresh noise."""
+    from .synthimage import _render, _smooth_field
+
+    c, h, w = config.channels, config.size, config.size
+    proto_rng = np.random.default_rng(seed ^ 0x5EED)
+    prototypes = np.stack(
+        [_smooth_field(proto_rng, c, h, w, config.smoothness) for _ in range(config.num_classes)]
+    )
+    rng = np.random.default_rng(seed + 77_777)
+    labels = np.arange(n) % config.num_classes
+    rng.shuffle(labels)
+    x = _render(prototypes, labels, config, rng)
+    return x, labels.astype(np.int64)
+
+
+def batches(
+    x: np.ndarray, y: np.ndarray, batch_size: int, seed: int | None = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (x, y) minibatches, shuffled when ``seed`` is given."""
+    n = len(x)
+    order = np.arange(n)
+    if seed is not None:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]
+
+
+def dataset_for_input(
+    input_shape: tuple[int, ...],
+    n_train: int,
+    n_test: int,
+    seed: int = 0,
+    num_classes: int = 10,
+    noise: float = 0.35,
+    structured_noise: float = 0.0,
+) -> Split:
+    """Pick the dataset matching a proxy model's input shape.
+
+    Grayscale inputs get the 10-class digits task (top-1 regime, like
+    the paper's LeNet-5); RGB inputs get the synthetic ImageNet-like
+    task with ``num_classes`` classes (top-5 regime).  ``noise``
+    controls the task difficulty of the synthetic task.
+    """
+    c = input_shape[0]
+    size = input_shape[1]
+    if c == 1:
+        return train_test("digits", n_train, n_test, seed=seed, size=size)
+    return train_test(
+        "synth",
+        n_train,
+        n_test,
+        seed=seed,
+        config=SynthImageConfig(
+            size=size,
+            channels=c,
+            num_classes=num_classes,
+            noise=noise,
+            structured_noise=structured_noise,
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Energy accounting.
+
+The paper breaks inference energy into four components —
+communication, computation, local memory, main memory — each with a
+dynamic and a leakage part (Fig. 10's stacked bars).  ``EnergyAccount``
+aggregates event counts into that exact structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .params import EnergyParams
+
+__all__ = ["COMPONENTS", "EnergyBreakdown", "EnergyAccount"]
+
+COMPONENTS = ("communication", "computation", "local_mem", "main_mem")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per (component, dynamic/leakage)."""
+
+    dynamic: dict[str, float] = field(default_factory=lambda: dict.fromkeys(COMPONENTS, 0.0))
+    leakage: dict[str, float] = field(default_factory=lambda: dict.fromkeys(COMPONENTS, 0.0))
+
+    @property
+    def total(self) -> float:
+        return sum(self.dynamic.values()) + sum(self.leakage.values())
+
+    def component_total(self, component: str) -> float:
+        return self.dynamic[component] + self.leakage[component]
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        out = EnergyBreakdown()
+        for c in COMPONENTS:
+            out.dynamic[c] = self.dynamic[c] + other.dynamic[c]
+            out.leakage[c] = self.leakage[c] + other.leakage[c]
+        return out
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        out = EnergyBreakdown()
+        for c in COMPONENTS:
+            out.dynamic[c] = self.dynamic[c] * factor
+            out.leakage[c] = self.leakage[c] * factor
+        return out
+
+
+@dataclass
+class EnergyAccount:
+    """Event-count to joules conversion for one simulated interval.
+
+    Counts are architecture-level events (flit-hops, MACs, bytes moved);
+    :meth:`breakdown` applies :class:`EnergyParams` and adds leakage =
+    power x wall-clock time for every component.
+    """
+
+    params: EnergyParams = field(default_factory=EnergyParams)
+    num_routers: int = 16
+    num_pes: int = 12
+
+    # dynamic event counts
+    flit_hops: int = 0
+    nic_flits: int = 0
+    macs: int = 0
+    decompressed_weights: int = 0
+    decompress_multiplies: bool = False
+    local_mem_bytes: int = 0
+    main_mem_bytes: int = 0
+    cycles: int = 0
+
+    def breakdown(self) -> EnergyBreakdown:
+        p = self.params
+        out = EnergyBreakdown()
+        out.dynamic["communication"] = (
+            self.flit_hops * (p.router_flit_energy + p.link_flit_energy)
+            + self.nic_flits * p.nic_flit_energy
+        )
+        per_weight = (
+            p.decompress_mul_energy
+            if self.decompress_multiplies
+            else p.decompress_add_energy
+        )
+        out.dynamic["computation"] = (
+            self.macs * p.mac_energy + self.decompressed_weights * per_weight
+        )
+        out.dynamic["local_mem"] = self.local_mem_bytes * p.local_mem_energy_per_byte
+        out.dynamic["main_mem"] = self.main_mem_bytes * p.main_mem_energy_per_byte
+
+        seconds = p.seconds(self.cycles)
+        out.leakage["communication"] = self.num_routers * p.router_leakage_w * seconds
+        out.leakage["computation"] = self.num_pes * p.pe_leakage_w * seconds
+        out.leakage["local_mem"] = self.num_pes * p.local_mem_leakage_w * seconds
+        out.leakage["main_mem"] = p.main_mem_leakage_w * seconds
+        return out

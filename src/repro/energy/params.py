@@ -1,0 +1,57 @@
+"""45 nm-class energy and timing constants.
+
+The paper back-annotates its simulator with circuit-level numbers from
+Synopsys DC + HSPICE on the Nangate 45 nm library, and CACTI for the
+memories.  We use published 45 nm-class magnitudes with the same
+structure: per-event dynamic energies plus per-component leakage powers.
+Absolute joules are not the reproduction target — the *breakdown shape*
+(main memory >> on-chip communication >> computation, Fig. 2) and the
+relative deltas under compression are.
+
+Sources for the magnitudes (all 45 nm era): Noxim router/link
+characterizations (~3-6 pJ per 64-bit flit-hop), DianNao / Eyeriss-class
+MAC energy (~1 pJ per 16-bit MAC), CACTI 8 KB SRAM (~1 pJ/byte), and the
+standard ~50 pJ/byte LPDDR main-memory access cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyParams", "CLOCK_HZ"]
+
+#: the paper's operating clock
+CLOCK_HZ = 1e9
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event dynamic energies (joules) and leakage powers (watts)."""
+
+    # --- communication (router + link, per 64-bit flit) -----------------
+    router_flit_energy: float = 4.0e-12  # buffering + arbitration + crossbar
+    link_flit_energy: float = 2.0e-12  # 1 mm inter-tile wire
+    #: NIC buffer write/read per flit at injection/ejection
+    nic_flit_energy: float = 1.0e-12
+
+    # --- computation ------------------------------------------------------
+    mac_energy: float = 1.0e-12  # one multiply-accumulate
+    #: decompression-unit energy per emitted weight (accumulator datapath)
+    decompress_add_energy: float = 0.1e-12
+    #: a multiply-based decompressor would pay a MAC-class multiply instead
+    decompress_mul_energy: float = 0.8e-12
+
+    # --- local memory (8 KB SRAM) ------------------------------------------
+    local_mem_energy_per_byte: float = 1.0e-12
+
+    # --- main memory ----------------------------------------------------
+    main_mem_energy_per_byte: float = 50.0e-12
+
+    # --- leakage powers (whole accelerator at 45 nm LVT) -----------------
+    router_leakage_w: float = 1.0e-3  # per router
+    pe_leakage_w: float = 2.0e-3  # per PE datapath
+    local_mem_leakage_w: float = 0.3e-3  # per 8 KB SRAM bank
+    main_mem_leakage_w: float = 60.0e-3  # whole DRAM background (all channels)
+
+    def seconds(self, cycles: int | float) -> float:
+        return cycles / CLOCK_HZ

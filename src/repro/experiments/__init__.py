@@ -1,0 +1,50 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+| module              | paper artifact | what it regenerates                     |
+|---------------------|----------------|------------------------------------------|
+| ``fig2_breakdown``  | Fig. 2         | LeNet-5 per-layer latency/energy bars    |
+| ``fig3_entropy``    | Fig. 3         | weight-stream entropy vs random/text     |
+| ``table1_layers``   | Tab. I         | selected-layer parameter fractions       |
+| ``table2_compression`` | Tab. II     | CR / weighted CR / mem-fp / MSE sweeps   |
+| ``fig9_sensitivity``| Fig. 9         | per-layer sensitivity, LeNet-5 & AlexNet |
+| ``fig10_tradeoff``  | Fig. 10        | accuracy vs latency & energy, 6 models   |
+| ``table3_quantized``| Tab. III       | compression on top of int8 quantization  |
+
+Each module exposes ``run(fast=False)`` (structured results),
+``render(results)`` (paper-style text) and ``main()`` (CLI).  The
+``REPRO_FAST`` environment variable switches all of them to reduced
+workloads.
+"""
+
+from . import (
+    common,
+    fig2_breakdown,
+    fig3_entropy,
+    fig9_sensitivity,
+    fig10_tradeoff,
+    table1_layers,
+    table2_compression,
+    table3_quantized,
+)
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2_breakdown,
+    "fig3": fig3_entropy,
+    "tab1": table1_layers,
+    "tab2": table2_compression,
+    "fig9": fig9_sensitivity,
+    "fig10": fig10_tradeoff,
+    "tab3": table3_quantized,
+}
+
+__all__ = [
+    "common",
+    "fig2_breakdown",
+    "fig3_entropy",
+    "fig9_sensitivity",
+    "fig10_tradeoff",
+    "table1_layers",
+    "table2_compression",
+    "table3_quantized",
+    "ALL_EXPERIMENTS",
+]

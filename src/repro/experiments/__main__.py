@@ -1,0 +1,36 @@
+"""CLI: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments fig2 tab2  # run selected artifacts
+    REPRO_FAST=1 python -m repro.experiments   # reduced workloads
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+from .common import is_fast
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    fast = is_fast()
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        start = time.time()
+        result = module.run(fast=fast)
+        print(module.render(result))
+        print(f"[{name}: {time.time() - start:.1f}s{' fast' if fast else ''}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,95 @@
+"""Tab. I — fraction of the parameters accounted by the selected layers.
+
+Applies the layer-selection policy to every zoo model and reports the
+model size, selected layer, its type, and its parameter fraction — the
+exact columns of the paper's Tab. I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.report import render_table
+from ..core.layer_selection import select_layer
+from ..nn import zoo
+from ..nn.arch import LayerKind
+
+__all__ = ["Row", "run", "render", "main"]
+
+#: the paper's Tab. I, for side-by-side comparison
+PAPER = {
+    "LeNet-5": (62, "dense_1", "FC", 0.80),
+    "AlexNet": (24_000, "dense_2", "FC", 0.70),
+    "VGG-16": (138_000, "dense_1", "FC", 0.77),
+    "MobileNet": (4_250, "conv_preds", "CONV", 0.19),
+    "Inception-v3": (23_850, "pred", "CONV", 0.09),
+    "ResNet50": (25_640, "fc1000", "FC", 0.08),
+}
+
+
+@dataclass(frozen=True)
+class Row:
+    model: str
+    params_k: float
+    layer: str
+    kind: str
+    fraction: float
+
+
+def run(fast: bool = False) -> list[Row]:
+    rows = []
+    for module in zoo.ALL_MODELS:
+        spec = module.full()
+        sel = select_layer(spec)
+        rows.append(
+            Row(
+                model=module.NAME,
+                params_k=spec.total_params / 1000,
+                layer=sel.name,
+                kind="FC" if sel.kind is LayerKind.FC else "CONV",
+                fraction=sel.params / spec.total_params,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    table = []
+    for r in rows:
+        paper_k, paper_layer, _, paper_frac = PAPER[r.model]
+        table.append(
+            [
+                r.model,
+                f"{r.params_k:,.0f}",
+                f"{paper_k:,}",
+                r.layer,
+                paper_layer,
+                r.kind,
+                f"{r.fraction:.0%}",
+                f"{paper_frac:.0%}",
+            ]
+        )
+    return render_table(
+        [
+            "model",
+            "params x1000",
+            "(paper)",
+            "layer",
+            "(paper)",
+            "type",
+            "fraction",
+            "(paper)",
+        ],
+        table,
+        title="Tab. I — parameters accounted by the layers selected for compression",
+    )
+
+
+def main() -> list[Row]:  # pragma: no cover - CLI entry
+    rows = run()
+    print(render(rows))
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

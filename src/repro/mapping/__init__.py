@@ -1,0 +1,26 @@
+"""Layer-to-accelerator mapping: tiling, traffic schedules, execution."""
+
+from .accelerator import (
+    Accelerator,
+    AcceleratorConfig,
+    LayerResult,
+    ModelResult,
+    SIMULATED_KINDS,
+)
+from .schedule import CompressionEffect, LayerSchedule, Transfer, build_schedule
+from .tiling import LayerPlan, PEPlan, plan_layer
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorConfig",
+    "LayerResult",
+    "ModelResult",
+    "SIMULATED_KINDS",
+    "CompressionEffect",
+    "LayerSchedule",
+    "Transfer",
+    "build_schedule",
+    "LayerPlan",
+    "PEPlan",
+    "plan_layer",
+]

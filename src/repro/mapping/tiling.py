@@ -1,0 +1,174 @@
+"""Layer-to-PE work partitioning under the 8 KB local-memory budget.
+
+For every layer the mapper chooses between the two classic partitions:
+
+* **channel split** — each PE owns a slice of the output channels /
+  neurons: the weight tensor is partitioned (fetched once in total) but
+  every PE needs the whole input feature map (ifmap replicated);
+* **spatial split** — each PE owns a band of output rows: the ifmap is
+  partitioned but every PE needs all the weights (weights replicated).
+
+The mapper picks the partition with the smaller total fetch volume, then
+applies the local-memory constraint: the stationary operand (whichever
+is smaller per PE) is kept resident if it fits in the 8 KB budget
+(minus double-buffering headroom); otherwise the layer is processed in
+bands and the *streaming* operand is re-fetched once per band.  Halo
+overlap of spatial conv tiles is ignored (a few % of ifmap traffic).
+
+FC layers degenerate to channel split with streamed single-use weights
+and an output slice accumulating in place — FC traffic is always
+single-pass — the regime the paper's motivational example (Fig. 2)
+shows being completely dominated by main-memory weight traffic.
+
+Two refetch models are provided for convolutions:
+
+* ``"paper"`` (default) — single-pass traffic (weights + ifmap + ofmap
+  with the partition's replication factors, no refetch).  This matches
+  the traffic accounting of the paper's simulation platform [17], which
+  models each layer's operand transfers once; it is an optimistic bound
+  that assumes the PE array orchestrates row-streaming reuse across its
+  aggregate buffer capacity.
+* ``"banded"`` — conservative per-PE banding: when neither operand fits
+  in the local memory, the streamed operand is re-fetched once per band
+  of the resident one.  Exposes the local-memory sensitivity that the
+  paper's model hides; the architecture-sweep benches use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.arch import LayerKind, LayerSpec
+
+__all__ = ["PEPlan", "LayerPlan", "plan_layer"]
+
+#: bytes per activation/weight word (float32 datapath)
+WORD_BYTES = 4
+#: fraction of local memory reserved for stream double-buffering
+_STREAM_HEADROOM = 0.25
+
+
+@dataclass(frozen=True)
+class PEPlan:
+    """Per-PE fetch volumes and work for one layer."""
+
+    weight_fetch_bytes: int
+    ifmap_fetch_bytes: int
+    ofmap_bytes: int
+    macs: int
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """One layer's mapping onto the PE array."""
+
+    layer_name: str
+    partition: str  # "channel" | "spatial"
+    num_pes: int
+    pe: PEPlan  # identical per PE (uniform split; remainders ignored)
+    #: total main-memory read volume (all PEs)
+    total_read_bytes: int
+    #: total main-memory write volume
+    total_write_bytes: int
+    #: refetch multiplier that tiling imposed on the streamed operand
+    refetch_factor: int
+
+    @property
+    def total_macs(self) -> int:
+        return self.pe.macs * self.num_pes
+
+
+def _split(total: int, parts: int) -> int:
+    """Per-part share, rounded up (uniform work assumption)."""
+    return -(-total // parts)
+
+
+REFETCH_MODELS = ("paper", "banded")
+
+
+def plan_layer(
+    layer: LayerSpec,
+    num_pes: int = 12,
+    local_mem_bytes: int = 8 * 1024,
+    weight_bytes_per_word: int = WORD_BYTES,
+    refetch_model: str = "paper",
+) -> LayerPlan:
+    """Map one layer onto the PE array.
+
+    Non-parametric layers (pooling, merges) move activations but do no
+    MACs; they are planned as spatial splits with zero weight traffic.
+    See the module docstring for ``refetch_model``.
+    """
+    if num_pes < 1:
+        raise ValueError("num_pes must be >= 1")
+    if refetch_model not in REFETCH_MODELS:
+        raise ValueError(
+            f"unknown refetch_model {refetch_model!r}; use one of {REFETCH_MODELS}"
+        )
+    w_bytes = layer.weight_params * weight_bytes_per_word
+    i_bytes = layer.in_activations * WORD_BYTES
+    o_bytes = layer.out_activations * WORD_BYTES
+    macs_pe = _split(layer.macs, num_pes)
+
+    if layer.kind in (LayerKind.POOL, LayerKind.GLOBALPOOL, LayerKind.MERGE,
+                      LayerKind.FLATTEN, LayerKind.NORM, LayerKind.ACT):
+        pe = PEPlan(
+            weight_fetch_bytes=0,
+            ifmap_fetch_bytes=_split(i_bytes, num_pes),
+            ofmap_bytes=_split(o_bytes, num_pes),
+            macs=macs_pe,
+        )
+        return LayerPlan(
+            layer_name=layer.name,
+            partition="spatial",
+            num_pes=num_pes,
+            pe=pe,
+            total_read_bytes=pe.ifmap_fetch_bytes * num_pes,
+            total_write_bytes=pe.ofmap_bytes * num_pes,
+            refetch_factor=1,
+        )
+
+    # fetch volume under each partition (before tiling refetch)
+    channel_cost = w_bytes + num_pes * i_bytes
+    spatial_cost = num_pes * w_bytes + i_bytes
+    # FC layers cannot split the input spatially (every output needs the
+    # whole input vector), so they always use the channel partition.
+    if layer.kind is LayerKind.FC or channel_cost <= spatial_cost:
+        partition = "channel"
+        w_pe, i_pe, o_pe = _split(w_bytes, num_pes), i_bytes, _split(o_bytes, num_pes)
+    else:
+        partition = "spatial"
+        w_pe, i_pe, o_pe = w_bytes, _split(i_bytes, num_pes), _split(o_bytes, num_pes)
+
+    budget = int(local_mem_bytes * (1.0 - _STREAM_HEADROOM))
+    refetch = 1
+    if (
+        refetch_model == "banded"
+        and layer.kind is not LayerKind.FC  # FC weights are single-use:
+        # stream input tiles against a resident output slice, one pass
+        and min(w_pe, i_pe) + o_pe > budget
+    ):
+        # neither operand can stay resident with the output slice: band
+        # the smaller operand and re-stream the other once per band
+        bands = -(-(min(w_pe, i_pe) + o_pe) // budget)
+        refetch = bands
+    if i_pe <= w_pe:
+        w_fetch, i_fetch = w_pe * refetch, i_pe
+    else:
+        w_fetch, i_fetch = w_pe, i_pe * refetch
+
+    pe = PEPlan(
+        weight_fetch_bytes=w_fetch,
+        ifmap_fetch_bytes=i_fetch,
+        ofmap_bytes=o_pe,
+        macs=macs_pe,
+    )
+    return LayerPlan(
+        layer_name=layer.name,
+        partition=partition,
+        num_pes=num_pes,
+        pe=pe,
+        total_read_bytes=(pe.weight_fetch_bytes + pe.ifmap_fetch_bytes) * num_pes,
+        total_write_bytes=pe.ofmap_bytes * num_pes,
+        refetch_factor=refetch,
+    )

@@ -1,0 +1,22 @@
+"""From-scratch NumPy CNN framework: layers, DAG models, training, zoo."""
+
+from . import layers
+from .graph import Model
+from .losses import SoftmaxCrossEntropy
+from .optim import SGD, StepLR
+from .sequential import Sequential
+from .train import EvalResult, TrainConfig, evaluate, topk_accuracy, train
+
+__all__ = [
+    "layers",
+    "Model",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "SGD",
+    "StepLR",
+    "EvalResult",
+    "TrainConfig",
+    "evaluate",
+    "topk_accuracy",
+    "train",
+]

@@ -1,0 +1,327 @@
+"""Architecture specifications for the full-scale paper models.
+
+The six networks of the paper's evaluation range from 62 k to 138 M
+parameters.  Training them is impossible here (no ImageNet, no GPU), and
+*not needed*: every full-model metric we reproduce — compression ratio,
+weighted CR, entropy, MSE, traffic volume, MACs — depends only on layer
+*shapes*, *parameter counts* and *weight statistics*.  So full models
+are represented by an :class:`ArchSpec`: an ordered inventory of
+:class:`LayerSpec` records (shapes, MACs, traffic volumes), plus
+deterministic per-layer materialization of trained-like weights
+(:meth:`ArchSpec.materialize`).  This keeps a 138 M-parameter VGG-16
+representable in a few kilobytes until a specific layer's weights are
+actually needed.
+
+Accuracy studies use the trainable *proxy* models built by the same zoo
+modules (see ``repro.nn.zoo``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from .initializers import trained_like
+from .tensor import conv_out_size
+
+__all__ = ["LayerKind", "LayerSpec", "ArchSpec", "ArchBuilder"]
+
+
+class LayerKind(str, Enum):
+    CONV = "CONV"
+    DWCONV = "DWCONV"
+    FC = "FC"
+    POOL = "POOL"
+    GLOBALPOOL = "GLOBALPOOL"
+    NORM = "NORM"
+    ACT = "ACT"
+    FLATTEN = "FLATTEN"
+    MERGE = "MERGE"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: kinds that own a weight tensor eligible for compression
+PARAMETRIC = {LayerKind.CONV, LayerKind.DWCONV, LayerKind.FC}
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Shape/cost record for one layer of a full-scale model."""
+
+    name: str
+    kind: LayerKind
+    in_shape: tuple[int, ...]
+    out_shape: tuple[int, ...]
+    weight_shape: tuple[int, ...] = ()
+    bias_params: int = 0
+    macs: int = 0
+    #: index among parametric layers (0 = closest to the input); -1 for
+    #: non-parametric layers
+    depth: int = -1
+
+    @property
+    def weight_params(self) -> int:
+        return int(np.prod(self.weight_shape)) if self.weight_shape else 0
+
+    @property
+    def params(self) -> int:
+        return self.weight_params + self.bias_params
+
+    @property
+    def in_activations(self) -> int:
+        return int(np.prod(self.in_shape))
+
+    @property
+    def out_activations(self) -> int:
+        return int(np.prod(self.out_shape))
+
+
+@dataclass
+class ArchSpec:
+    """Full-model layer inventory with weight materialization."""
+
+    name: str
+    input_shape: tuple[int, ...]
+    layers: list[LayerSpec] = field(default_factory=list)
+    #: per-layer std multiplier for trained-like sampling (weights of
+    #: deeper FC layers in trained nets tend to be smaller)
+    weight_scales: dict[str, float] = field(default_factory=dict)
+    #: per-layer range/std target of the sampled stream (see
+    #: :func:`repro.nn.initializers.trained_like`); absent = natural
+    weight_tail_ratios: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    def parametric_layers(self) -> list[LayerSpec]:
+        return [l for l in self.layers if l.kind in PARAMETRIC]
+
+    def layer(self, name: str) -> LayerSpec:
+        for l in self.layers:
+            if l.name == name:
+                return l
+        raise KeyError(f"{self.name} has no layer named {name!r}")
+
+    def _layer_seed(self, name: str, seed: int) -> int:
+        digest = hashlib.sha256(f"{self.name}/{name}/{seed}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def materialize(self, name: str, seed: int = 0) -> np.ndarray:
+        """Deterministically sample trained-like weights for one layer.
+
+        The same ``(model, layer, seed)`` always yields the same tensor,
+        so experiments can re-materialize a layer instead of keeping
+        hundreds of megabytes alive.
+        """
+        spec = self.layer(name)
+        if spec.kind not in PARAMETRIC:
+            raise ValueError(f"layer {name!r} ({spec.kind}) has no weights")
+        rng = np.random.default_rng(self._layer_seed(name, seed))
+        return trained_like(
+            spec.weight_shape,
+            rng,
+            scale=self.weight_scales.get(name, 1.0),
+            tail_ratio=self.weight_tail_ratios.get(name),
+        )
+
+
+class ArchBuilder:
+    """Incremental builder tracking the activation shape through the net.
+
+    Only the layers that matter for traffic/compression accounting are
+    recorded (conv / fc / pool / norm / merge); element-wise activations
+    are free in the paper's accounting and are omitted.
+    """
+
+    def __init__(self, name: str, input_shape: tuple[int, ...]) -> None:
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self._shape: tuple[int, ...] = tuple(input_shape)
+        self._layers: list[LayerSpec] = []
+        self._depth = 0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    def _add(self, spec: LayerSpec) -> None:
+        self._layers.append(spec)
+        self._shape = spec.out_shape
+
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int = 1,
+        pad: int | str | tuple[int, int] = 0,
+        bias: bool = True,
+        groups: int = 1,
+    ) -> "ArchBuilder":
+        c, h, w = self._shape
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if pad == "same":
+            ph, pw = kh // 2, kw // 2
+        elif isinstance(pad, tuple):
+            ph, pw = pad
+        else:
+            ph = pw = int(pad)
+        if c % groups or out_channels % groups:
+            raise ValueError(f"{name}: channels not divisible by groups={groups}")
+        oh = conv_out_size(h, kh, stride, ph)
+        ow = conv_out_size(w, kw, stride, pw)
+        self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.CONV,
+                in_shape=self._shape,
+                out_shape=(out_channels, oh, ow),
+                weight_shape=(out_channels, c // groups, kh, kw),
+                bias_params=out_channels if bias else 0,
+                macs=oh * ow * out_channels * (c // groups) * kh * kw,
+                depth=self._depth,
+            )
+        )
+        self._depth += 1
+        return self
+
+    def dwconv(
+        self,
+        name: str,
+        kernel: int,
+        stride: int = 1,
+        pad: int | str = 0,
+        bias: bool = False,
+    ) -> "ArchBuilder":
+        c, h, w = self._shape
+        if pad == "same":
+            pad = kernel // 2
+        oh = conv_out_size(h, kernel, stride, int(pad))
+        ow = conv_out_size(w, kernel, stride, int(pad))
+        self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.DWCONV,
+                in_shape=self._shape,
+                out_shape=(c, oh, ow),
+                weight_shape=(c, 1, kernel, kernel),
+                bias_params=c if bias else 0,
+                macs=oh * ow * c * kernel * kernel,
+                depth=self._depth,
+            )
+        )
+        self._depth += 1
+        return self
+
+    def pool(
+        self, name: str, kernel: int, stride: int | None = None, pad: int = 0
+    ) -> "ArchBuilder":
+        c, h, w = self._shape
+        stride = stride if stride is not None else kernel
+        oh = conv_out_size(h, kernel, stride, pad)
+        ow = conv_out_size(w, kernel, stride, pad)
+        self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.POOL,
+                in_shape=self._shape,
+                out_shape=(c, oh, ow),
+            )
+        )
+        return self
+
+    def global_pool(self, name: str) -> "ArchBuilder":
+        c, _, _ = self._shape
+        self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.GLOBALPOOL,
+                in_shape=self._shape,
+                out_shape=(c,),
+            )
+        )
+        return self
+
+    def batchnorm(self, name: str) -> "ArchBuilder":
+        c = self._shape[0]
+        self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.NORM,
+                in_shape=self._shape,
+                out_shape=self._shape,
+                bias_params=2 * c,  # gamma + beta (running stats are buffers)
+            )
+        )
+        return self
+
+    def flatten(self, name: str = "flatten") -> "ArchBuilder":
+        n = int(np.prod(self._shape))
+        self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.FLATTEN,
+                in_shape=self._shape,
+                out_shape=(n,),
+            )
+        )
+        return self
+
+    def fc(self, name: str, out_features: int, bias: bool = True) -> "ArchBuilder":
+        if len(self._shape) != 1:
+            raise ValueError(f"fc after shape {self._shape}; flatten first")
+        (in_features,) = self._shape
+        self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.FC,
+                in_shape=self._shape,
+                out_shape=(out_features,),
+                weight_shape=(in_features, out_features),
+                bias_params=out_features if bias else 0,
+                macs=in_features * out_features,
+                depth=self._depth,
+            )
+        )
+        self._depth += 1
+        return self
+
+    def set_shape(self, shape: tuple[int, ...]) -> "ArchBuilder":
+        """Override the tracked shape (after out-of-band branch math)."""
+        self._shape = tuple(shape)
+        return self
+
+    def merge(self, name: str, out_shape: tuple[int, ...]) -> "ArchBuilder":
+        """Record a branch-join point (concat/add) with its output shape."""
+        self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.MERGE,
+                in_shape=self._shape,
+                out_shape=tuple(out_shape),
+            )
+        )
+        return self
+
+    def build(
+        self,
+        weight_scales: dict[str, float] | None = None,
+        weight_tail_ratios: dict[str, float] | None = None,
+    ) -> ArchSpec:
+        return ArchSpec(
+            name=self.name,
+            input_shape=self.input_shape,
+            layers=list(self._layers),
+            weight_scales=dict(weight_scales or {}),
+            weight_tail_ratios=dict(weight_tail_ratios or {}),
+        )

@@ -1,0 +1,91 @@
+"""Layer and Parameter base classes for the NumPy CNN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer", "MergeLayer"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator.
+
+    ``data`` is always ``float32`` (the PE datapath width in the paper's
+    accelerator); ``grad`` is allocated lazily on first backward pass.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def add_grad(self, g: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = g.astype(np.float32, copy=True)
+        else:
+            self.grad += g
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name}, shape={self.shape})"
+
+
+class Layer:
+    """Base class: a differentiable unary op with optional parameters.
+
+    Subclasses implement :meth:`forward` (caching whatever the backward
+    pass needs on ``self``) and :meth:`backward` (returning the gradient
+    w.r.t. the input and populating parameter ``grad`` fields).
+    Inference-only layers may omit ``backward``.
+    """
+
+    #: set by the model container; used for reporting and layer selection
+    name: str = ""
+
+    def params(self) -> list[Parameter]:
+        """Trainable parameters, weights first (bias & co. after)."""
+        return []
+
+    def buffers(self) -> dict[str, np.ndarray]:
+        """Non-trainable state (e.g. batch-norm running statistics).
+
+        Keys are attribute names on the layer, so a generic
+        ``setattr(layer, key, value)`` restores them.
+        """
+        return {}
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params())
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(f"{type(self).__name__} has no backward pass")
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r}, params={self.num_params})"
+
+
+class MergeLayer(Layer):
+    """Base for layers combining multiple inputs (Add, Concat)."""
+
+    def forward(self, xs: list[np.ndarray], training: bool = False) -> np.ndarray:  # type: ignore[override]
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> list[np.ndarray]:  # type: ignore[override]
+        raise NotImplementedError

@@ -1,0 +1,68 @@
+"""Fully connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..initializers import glorot_uniform
+from .base import Layer, Parameter
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """``y = x @ W + b`` with ``W`` of shape ``(in_features, out_features)``.
+
+    The weight serialization order used by the compression experiments is
+    C-order of ``W`` — rows are input neurons, matching the HDF5 layout
+    of the Keras models the paper compresses.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str = "",
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            glorot_uniform((in_features, out_features), rng), name=f"{name}/W"
+        )
+        self.bias = (
+            Parameter(np.zeros(out_features, dtype=np.float32), name=f"{name}/b")
+            if bias
+            else None
+        )
+        self.name = name
+        self._x: np.ndarray | None = None
+
+    def params(self) -> list[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected (N, {self.in_features}), got {x.shape}"
+            )
+        if training:
+            self._x = x
+        y = x @ self.weight.data
+        if self.bias is not None:
+            y += self.bias.data
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before a training forward pass")
+        self.weight.add_grad(self._x.T @ grad)
+        if self.bias is not None:
+            self.bias.add_grad(grad.sum(axis=0))
+        return grad @ self.weight.data.T
+
+    @property
+    def macs_per_sample(self) -> int:
+        return self.in_features * self.out_features

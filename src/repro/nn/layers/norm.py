@@ -1,0 +1,87 @@
+"""Batch normalization (2-D, per-channel)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer, Parameter
+
+__all__ = ["BatchNorm2D"]
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch norm over NCHW activations.
+
+    Training mode normalizes with batch statistics and maintains running
+    estimates; inference mode uses the running estimates.  ``gamma`` and
+    ``beta`` are trainable; running statistics are buffers (not returned
+    by :meth:`params`), matching the convention of the frameworks the
+    paper's models come from.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: str = "",
+    ) -> None:
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels, dtype=np.float32), name=f"{name}/gamma")
+        self.beta = Parameter(np.zeros(channels, dtype=np.float32), name=f"{name}/beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self.name = name
+        self._cache: tuple | None = None
+
+    def params(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+    def buffers(self) -> dict[str, np.ndarray]:
+        return {
+            "running_mean": self.running_mean,
+            "running_var": self.running_var,
+        }
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[1] != self.channels:
+            raise ValueError(f"{self.name}: expected {self.channels} channels")
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            ).astype(np.float32)
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            ).astype(np.float32)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        if training:
+            self._cache = (xhat, inv_std)
+        return (
+            self.gamma.data[None, :, None, None] * xhat
+            + self.beta.data[None, :, None, None]
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        xhat, inv_std = self._cache
+        n, _, h, w = grad.shape
+        m = n * h * w
+        self.gamma.add_grad((grad * xhat).sum(axis=(0, 2, 3)))
+        self.beta.add_grad(grad.sum(axis=(0, 2, 3)))
+        g = self.gamma.data[None, :, None, None]
+        dxhat = grad * g
+        # Standard batch-norm backward w.r.t. batch statistics.
+        sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dxhat_xhat = (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True)
+        return (
+            inv_std[None, :, None, None]
+            * (dxhat - sum_dxhat / m - xhat * sum_dxhat_xhat / m)
+        ).astype(grad.dtype)

@@ -1,0 +1,80 @@
+"""Shape-manipulation and merge layers: Flatten, Add, Concat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer, MergeLayer
+
+__all__ = ["Flatten", "Add", "Concat"]
+
+
+class Flatten(Layer):
+    """(N, ...) -> (N, prod(...))."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return grad.reshape(self._shape)
+
+
+class Add(MergeLayer):
+    """Element-wise sum of inputs (ResNet shortcut join)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._n_inputs = 0
+
+    def forward(self, xs: list[np.ndarray], training: bool = False) -> np.ndarray:  # type: ignore[override]
+        if len(xs) < 2:
+            raise ValueError("Add expects at least two inputs")
+        shapes = {x.shape for x in xs}
+        if len(shapes) != 1:
+            raise ValueError(f"Add inputs must share a shape, got {shapes}")
+        if training:
+            self._n_inputs = len(xs)
+        out = xs[0].copy()
+        for x in xs[1:]:
+            out += x
+        return out
+
+    def backward(self, grad: np.ndarray) -> list[np.ndarray]:  # type: ignore[override]
+        if self._n_inputs == 0:
+            raise RuntimeError("backward called before a training forward pass")
+        return [grad] * self._n_inputs
+
+
+class Concat(MergeLayer):
+    """Channel concatenation of NCHW inputs (Inception branch join)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._splits: list[int] | None = None
+
+    def forward(self, xs: list[np.ndarray], training: bool = False) -> np.ndarray:  # type: ignore[override]
+        if len(xs) < 2:
+            raise ValueError("Concat expects at least two inputs")
+        spatial = {x.shape[2:] for x in xs}
+        if len(spatial) != 1:
+            raise ValueError(f"Concat inputs must share spatial dims, got {spatial}")
+        if training:
+            self._splits = [x.shape[1] for x in xs]
+        return np.concatenate(xs, axis=1)
+
+    def backward(self, grad: np.ndarray) -> list[np.ndarray]:  # type: ignore[override]
+        if self._splits is None:
+            raise RuntimeError("backward called before a training forward pass")
+        out, pos = [], 0
+        for c in self._splits:
+            out.append(grad[:, pos : pos + c])
+            pos += c
+        return out

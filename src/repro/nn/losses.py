@@ -1,0 +1,41 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers.activations import softmax
+
+__all__ = ["SoftmaxCrossEntropy"]
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy on integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient
+    w.r.t. the logits (``(p - onehot) / N``), the numerically stable
+    fused form.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, classes) logits, got {logits.shape}")
+        labels = np.asarray(labels)
+        if labels.shape != (logits.shape[0],):
+            raise ValueError("labels must be a 1-D int array matching the batch")
+        p = softmax(logits, axis=1)
+        self._probs, self._labels = p, labels
+        eps = np.finfo(np.float32).tiny
+        nll = -np.log(p[np.arange(len(labels)), labels] + eps)
+        return float(nll.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        g = self._probs.copy()
+        g[np.arange(len(self._labels)), self._labels] -= 1.0
+        return (g / len(self._labels)).astype(np.float32)

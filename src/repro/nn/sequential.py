@@ -1,0 +1,25 @@
+"""Sequential model convenience wrapper."""
+
+from __future__ import annotations
+
+from .graph import Model
+from .layers.base import Layer
+
+__all__ = ["Sequential"]
+
+
+def Sequential(layers: list[tuple[str, Layer]] | list[Layer], name: str = "model") -> Model:
+    """Build a :class:`Model` from a linear chain of layers.
+
+    Accepts either bare layers (auto-named) or ``(name, layer)`` pairs —
+    named layers are what the paper's layer-selection policy refers to
+    (e.g. ``dense_1`` in LeNet-5).
+    """
+    model = Model(name=name)
+    for item in layers:
+        if isinstance(item, tuple):
+            node_name, layer = item
+            model.add(layer, name=node_name)
+        else:
+            model.add(item)
+    return model

@@ -1,0 +1,96 @@
+"""Training loop and accuracy evaluation (top-1 / top-5).
+
+The paper reports top-5 accuracy for the ImageNet-class models and top-1
+for LeNet-5 (10 classes); :func:`evaluate` computes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import Model
+from .losses import SoftmaxCrossEntropy
+from .optim import SGD
+
+__all__ = ["TrainConfig", "EvalResult", "evaluate", "topk_accuracy", "train"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    shuffle_seed: int = 0
+    verbose: bool = False
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    top1: float
+    top5: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"top1={self.top1:.4f} top5={self.top5:.4f} (n={self.n})"
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of samples whose label is among the k largest logits."""
+    if logits.shape[0] == 0:
+        return 0.0
+    k = min(k, logits.shape[1])
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+def evaluate(model: Model, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> EvalResult:
+    logits = model.predict(x, batch_size=batch_size)
+    return EvalResult(
+        top1=topk_accuracy(logits, y, 1),
+        top5=topk_accuracy(logits, y, 5),
+        n=len(y),
+    )
+
+
+def train(
+    model: Model,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+) -> list[float]:
+    """Train with SGD + softmax cross-entropy; returns per-epoch losses."""
+    loss_fn = SoftmaxCrossEntropy()
+    opt = SGD(
+        model.params(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    rng = np.random.default_rng(config.shuffle_seed)
+    losses = []
+    n = len(x)
+    for epoch in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_loss, batches = 0.0, 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            opt.zero_grad()
+            logits = model.forward(x[idx], training=True)
+            loss = loss_fn.forward(logits, y[idx])
+            model.backward(loss_fn.backward())
+            opt.step()
+            epoch_loss += loss
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+        if config.verbose:  # pragma: no cover - console feedback only
+            msg = f"epoch {epoch + 1}/{config.epochs}: loss={losses[-1]:.4f}"
+            if x_val is not None and y_val is not None:
+                msg += f" val: {evaluate(model, x_val, y_val)}"
+            print(msg)
+    return losses

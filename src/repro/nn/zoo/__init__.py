@@ -1,0 +1,30 @@
+"""Model zoo: the six networks of the paper's evaluation (Tab. I).
+
+Each module exposes:
+
+* ``NAME`` — display name used in tables;
+* ``full()`` — paper-scale :class:`~repro.nn.arch.ArchSpec`;
+* ``proxy(rng)`` — small trainable :class:`~repro.nn.graph.Model` with
+  the same topology family (used for accuracy studies);
+* ``SELECTED_LAYER`` — the layer the paper compresses (Tab. I);
+* ``DELTA_GRID`` — the delta values of the paper's sweep (Tab. II);
+* ``TOP_K`` — accuracy metric (1 for LeNet-5, 5 elsewhere).
+"""
+
+from . import alexnet, inception_v3, lenet5, mobilenet, resnet50, vgg16
+
+#: evaluation order used by the paper's tables
+ALL_MODELS = [lenet5, alexnet, vgg16, mobilenet, inception_v3, resnet50]
+
+BY_NAME = {m.NAME: m for m in ALL_MODELS}
+
+__all__ = [
+    "lenet5",
+    "alexnet",
+    "vgg16",
+    "mobilenet",
+    "inception_v3",
+    "resnet50",
+    "ALL_MODELS",
+    "BY_NAME",
+]

@@ -1,0 +1,210 @@
+"""Inception-v3 (~23.9 M parameters; compressed layer: ``pred``, FC, ~9 %).
+
+The canonical Szegedy et al. v3 topology for 299x299 inputs: stem,
+3x Inception-A (35x35), Reduction-A, 4x Inception-B (17x17, factorized
+7x7), Reduction-B, 2x Inception-C (8x8), global pooling and the
+``pred`` fully connected classifier.  Every convolution is conv+BN
+(no conv bias).
+
+Branches are recorded through the linear :class:`ArchBuilder` by
+rewinding the tracked shape to the block input per branch and closing
+each block with a ``merge`` record carrying the concatenated shape —
+the *serialization order* of layers (which is what compression and
+traffic accounting consume) is preserved.
+
+The proxy is a small stem + one A-style inception module + head on
+32x32 inputs, exercising real Concat branches in the DAG executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch import ArchBuilder, ArchSpec
+from ..graph import Model
+from ..layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+NAME = "Inception-v3"
+SELECTED_LAYER = "pred"
+DELTA_GRID = (0.0, 5.0, 10.0, 15.0, 20.0)  # paper Tab. II
+INPUT_SHAPE = (3, 299, 299)
+NUM_CLASSES = 1000
+TOP_K = 5
+
+#: proxy training hints (SGD momentum 0.9; BN-heavy proxies train
+#: at higher rates, the small Inception proxy needs more epochs)
+PROXY_LR = 0.05
+PROXY_EPOCHS = 14
+
+
+def _conv_bn(
+    b: ArchBuilder, name: str, out_c: int, kernel, stride: int = 1, pad=0
+) -> None:
+    b.conv(name, out_c, kernel, stride=stride, pad=pad, bias=False)
+    b.batchnorm(f"{name}_bn")
+
+
+def _inception_a(b: ArchBuilder, idx: int, pool_proj: int) -> None:
+    tag = f"mixed{idx}"
+    c, h, w = b.shape
+    block_in = b.shape
+    _conv_bn(b, f"{tag}_b1x1", 64, 1)
+    b.set_shape(block_in)
+    _conv_bn(b, f"{tag}_b5x5_1", 48, 1)
+    _conv_bn(b, f"{tag}_b5x5_2", 64, 5, pad=2)
+    b.set_shape(block_in)
+    _conv_bn(b, f"{tag}_b3x3dbl_1", 64, 1)
+    _conv_bn(b, f"{tag}_b3x3dbl_2", 96, 3, pad=1)
+    _conv_bn(b, f"{tag}_b3x3dbl_3", 96, 3, pad=1)
+    b.set_shape(block_in)
+    b.pool(f"{tag}_pool", 3, stride=1, pad=1)
+    _conv_bn(b, f"{tag}_pool_proj", pool_proj, 1)
+    b.merge(tag, (64 + 64 + 96 + pool_proj, h, w))
+
+
+def _reduction_a(b: ArchBuilder) -> None:
+    tag = "mixed3"
+    c, h, w = b.shape
+    block_in = b.shape
+    _conv_bn(b, f"{tag}_b3x3", 384, 3, stride=2)
+    out_h, out_w = b.shape[1], b.shape[2]
+    b.set_shape(block_in)
+    _conv_bn(b, f"{tag}_b3x3dbl_1", 64, 1)
+    _conv_bn(b, f"{tag}_b3x3dbl_2", 96, 3, pad=1)
+    _conv_bn(b, f"{tag}_b3x3dbl_3", 96, 3, stride=2)
+    b.set_shape(block_in)
+    b.pool(f"{tag}_pool", 3, stride=2)
+    b.merge(tag, (384 + 96 + c, out_h, out_w))
+
+
+def _inception_b(b: ArchBuilder, idx: int, c7: int) -> None:
+    tag = f"mixed{idx}"
+    c, h, w = b.shape
+    block_in = b.shape
+    _conv_bn(b, f"{tag}_b1x1", 192, 1)
+    b.set_shape(block_in)
+    _conv_bn(b, f"{tag}_b7x7_1", c7, 1)
+    _conv_bn(b, f"{tag}_b7x7_2", c7, (1, 7), pad=(0, 3))
+    _conv_bn(b, f"{tag}_b7x7_3", 192, (7, 1), pad=(3, 0))
+    b.set_shape(block_in)
+    _conv_bn(b, f"{tag}_b7x7dbl_1", c7, 1)
+    _conv_bn(b, f"{tag}_b7x7dbl_2", c7, (7, 1), pad=(3, 0))
+    _conv_bn(b, f"{tag}_b7x7dbl_3", c7, (1, 7), pad=(0, 3))
+    _conv_bn(b, f"{tag}_b7x7dbl_4", c7, (7, 1), pad=(3, 0))
+    _conv_bn(b, f"{tag}_b7x7dbl_5", 192, (1, 7), pad=(0, 3))
+    b.set_shape(block_in)
+    b.pool(f"{tag}_pool", 3, stride=1, pad=1)
+    _conv_bn(b, f"{tag}_pool_proj", 192, 1)
+    b.merge(tag, (192 * 4, h, w))
+
+
+def _reduction_b(b: ArchBuilder) -> None:
+    tag = "mixed8"
+    c, h, w = b.shape
+    block_in = b.shape
+    _conv_bn(b, f"{tag}_b3x3_1", 192, 1)
+    _conv_bn(b, f"{tag}_b3x3_2", 320, 3, stride=2)
+    out_h, out_w = b.shape[1], b.shape[2]
+    b.set_shape(block_in)
+    _conv_bn(b, f"{tag}_b7x7x3_1", 192, 1)
+    _conv_bn(b, f"{tag}_b7x7x3_2", 192, (1, 7), pad=(0, 3))
+    _conv_bn(b, f"{tag}_b7x7x3_3", 192, (7, 1), pad=(3, 0))
+    _conv_bn(b, f"{tag}_b7x7x3_4", 192, 3, stride=2)
+    b.set_shape(block_in)
+    b.pool(f"{tag}_pool", 3, stride=2)
+    b.merge(tag, (320 + 192 + c, out_h, out_w))
+
+
+def _inception_c(b: ArchBuilder, idx: int) -> None:
+    tag = f"mixed{idx}"
+    c, h, w = b.shape
+    block_in = b.shape
+    _conv_bn(b, f"{tag}_b1x1", 320, 1)
+    b.set_shape(block_in)
+    _conv_bn(b, f"{tag}_b3x3_1", 384, 1)
+    _conv_bn(b, f"{tag}_b3x3_2a", 384, (1, 3), pad=(0, 1))
+    b.set_shape((384, h, w))
+    _conv_bn(b, f"{tag}_b3x3_2b", 384, (3, 1), pad=(1, 0))
+    b.set_shape(block_in)
+    _conv_bn(b, f"{tag}_b3x3dbl_1", 448, 1)
+    _conv_bn(b, f"{tag}_b3x3dbl_2", 384, 3, pad=1)
+    _conv_bn(b, f"{tag}_b3x3dbl_3a", 384, (1, 3), pad=(0, 1))
+    b.set_shape((384, h, w))
+    _conv_bn(b, f"{tag}_b3x3dbl_3b", 384, (3, 1), pad=(1, 0))
+    b.set_shape(block_in)
+    b.pool(f"{tag}_pool", 3, stride=1, pad=1)
+    _conv_bn(b, f"{tag}_pool_proj", 192, 1)
+    b.merge(tag, (320 + 768 + 768 + 192, h, w))
+
+
+def full() -> ArchSpec:
+    """Paper-scale architecture inventory (~23.9 M params)."""
+    b = ArchBuilder("inception_v3", INPUT_SHAPE)
+    _conv_bn(b, "conv2d_1", 32, 3, stride=2)   # 149
+    _conv_bn(b, "conv2d_2", 32, 3)             # 147
+    _conv_bn(b, "conv2d_3", 64, 3, pad=1)      # 147
+    b.pool("max_pool_1", 3, 2)                 # 73
+    _conv_bn(b, "conv2d_4", 80, 1)
+    _conv_bn(b, "conv2d_5", 192, 3)            # 71
+    b.pool("max_pool_2", 3, 2)                 # 35
+    _inception_a(b, 0, pool_proj=32)           # 256
+    _inception_a(b, 1, pool_proj=64)           # 288
+    _inception_a(b, 2, pool_proj=64)           # 288
+    _reduction_a(b)                            # 768 @ 17
+    for idx, c7 in zip((4, 5, 6, 7), (128, 160, 160, 192)):
+        _inception_b(b, idx, c7)
+    _reduction_b(b)                            # 1280 @ 8
+    _inception_c(b, 9)                         # 2048
+    _inception_c(b, 10)
+    b.global_pool("avg_pool")
+    b.fc("pred", NUM_CLASSES)
+    # ImageNet-trained classifier head: weight-range tail calibrated
+    # against the paper's Tab. II CR-vs-delta curve
+    return b.build(weight_tail_ratios={"pred": 11.0})
+
+
+#: 50 classes so top-5 accuracy is a meaningful metric (Fig. 10)
+_PROXY_CLASSES = 50
+
+
+def proxy(rng: np.random.Generator | None = None) -> Model:
+    """Stem + one Inception-A module + head, for 32x32 inputs."""
+    rng = rng or np.random.default_rng(42)
+    m = Model(name="inception_v3-proxy")
+    m.add(Conv2D(3, 24, 3, padding=1, bias=False, rng=rng), name="conv2d_1")
+    m.add(BatchNorm2D(24), name="conv2d_1_bn")
+    m.add(ReLU(), name="conv2d_1_relu")
+    m.add(MaxPool2D(2), name="stem_pool")  # 16x16
+    stem = m.add(Conv2D(24, 48, 3, padding=1, bias=False, rng=rng), name="conv2d_2")
+    m.add(BatchNorm2D(48), name="conv2d_2_bn")
+    stem_out = m.add(ReLU(), name="conv2d_2_relu")
+    # Inception-A style branches off stem_out
+    b1 = m.add(Conv2D(48, 24, 1, rng=rng), inputs=stem_out, name="mixed0_b1x1")
+    b1 = m.add(ReLU(), inputs=b1, name="mixed0_b1x1_relu")
+    b2 = m.add(Conv2D(48, 16, 1, rng=rng), inputs=stem_out, name="mixed0_b5x5_1")
+    b2 = m.add(ReLU(), inputs=b2, name="mixed0_b5x5_1_relu")
+    b2 = m.add(Conv2D(16, 24, 5, padding=2, rng=rng), inputs=b2, name="mixed0_b5x5_2")
+    b2 = m.add(ReLU(), inputs=b2, name="mixed0_b5x5_2_relu")
+    b3 = m.add(Conv2D(48, 24, 1, rng=rng), inputs=stem_out, name="mixed0_b3x3dbl_1")
+    b3 = m.add(ReLU(), inputs=b3, name="mixed0_b3x3dbl_1_relu")
+    b3 = m.add(Conv2D(24, 32, 3, padding=1, rng=rng), inputs=b3, name="mixed0_b3x3dbl_2")
+    b3 = m.add(ReLU(), inputs=b3, name="mixed0_b3x3dbl_2_relu")
+    mixed = m.add(Concat(), inputs=[b1, b2, b3], name="mixed0")  # 80 ch
+    m.add(MaxPool2D(2), inputs=mixed, name="mixed_pool")  # 8x8
+    m.add(GlobalAvgPool2D(), name="avg_pool")
+    m.add(Dense(80, 96, rng=rng), name="dense_aux")
+    m.add(ReLU(), name="dense_aux_relu")
+    m.add(Dense(96, _PROXY_CLASSES, rng=rng), name="pred")
+    m.add(Softmax(), name="softmax")
+    return m

@@ -1,0 +1,118 @@
+"""ResNet-50 (~25.6 M parameters; compressed layer: ``fc1000``, FC, ~8 %).
+
+The canonical He et al. v1 bottleneck topology for 224x224 inputs:
+7x7/2 stem, four stages of (3, 4, 6, 3) bottleneck blocks with 1x1
+projection shortcuts at stage entry, global pooling and the ``fc1000``
+classifier.  Every convolution is conv+BN (no conv bias).
+
+The proxy is a mini residual network (real ``Add`` shortcut joins in the
+DAG executor) on 32x32 inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch import ArchBuilder, ArchSpec
+from ..graph import Model
+from ..layers import (
+    Add,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+NAME = "ResNet50"
+SELECTED_LAYER = "fc1000"
+DELTA_GRID = (0.0, 2.0, 4.0, 6.0, 8.0)  # paper Tab. II
+INPUT_SHAPE = (3, 224, 224)
+NUM_CLASSES = 1000
+TOP_K = 5
+
+#: proxy training hints (SGD momentum 0.9; BN-heavy proxies train
+#: at higher rates, the small Inception proxy needs more epochs)
+PROXY_LR = 0.1
+PROXY_EPOCHS = 8
+
+#: (blocks, mid-channels, out-channels) per stage
+_STAGES = [(3, 64, 256), (4, 128, 512), (6, 256, 1024), (3, 512, 2048)]
+
+
+def _conv_bn(b: ArchBuilder, name: str, out_c: int, kernel, stride=1, pad=0) -> None:
+    b.conv(name, out_c, kernel, stride=stride, pad=pad, bias=False)
+    b.batchnorm(f"{name}_bn")
+
+
+def _bottleneck(
+    b: ArchBuilder, tag: str, mid: int, out: int, stride: int, project: bool
+) -> None:
+    block_in = b.shape
+    _conv_bn(b, f"{tag}_conv1", mid, 1, stride=stride)
+    _conv_bn(b, f"{tag}_conv2", mid, 3, pad=1)
+    _conv_bn(b, f"{tag}_conv3", out, 1)
+    out_shape = b.shape
+    if project:
+        b.set_shape(block_in)
+        _conv_bn(b, f"{tag}_proj", out, 1, stride=stride)
+    b.merge(f"{tag}_add", out_shape)
+
+
+def full() -> ArchSpec:
+    """Paper-scale architecture inventory (~25.6 M params)."""
+    b = ArchBuilder("resnet50", INPUT_SHAPE)
+    _conv_bn(b, "conv1", 64, 7, stride=2, pad=3)  # 112
+    b.pool("pool1", 3, 2, pad=1)                  # 56
+    for stage_idx, (blocks, mid, out) in enumerate(_STAGES, start=2):
+        for block_idx in range(blocks):
+            tag = f"conv{stage_idx}_block{block_idx + 1}"
+            stride = 2 if (block_idx == 0 and stage_idx > 2) else 1
+            _bottleneck(b, tag, mid, out, stride=stride, project=block_idx == 0)
+    b.global_pool("avg_pool")
+    b.fc("fc1000", NUM_CLASSES)
+    # ImageNet-trained classifier head: heavy-tailed weight range
+    # (calibrated against the paper's Tab. II CR-vs-delta curve)
+    return b.build(weight_tail_ratios={"fc1000": 30.0})
+
+
+#: 50 classes so top-5 accuracy is a meaningful metric (Fig. 10)
+_PROXY_CLASSES = 50
+
+
+def _proxy_block(
+    m: Model, rng: np.random.Generator, tag: str, in_c: int, out_c: int, src: str
+) -> str:
+    """Basic (two-conv) residual block; returns the output node name."""
+    x = m.add(Conv2D(in_c, out_c, 3, padding=1, bias=False, rng=rng),
+              inputs=src, name=f"{tag}_conv1")
+    x = m.add(BatchNorm2D(out_c), inputs=x, name=f"{tag}_bn1")
+    x = m.add(ReLU(), inputs=x, name=f"{tag}_relu1")
+    x = m.add(Conv2D(out_c, out_c, 3, padding=1, bias=False, rng=rng),
+              inputs=x, name=f"{tag}_conv2")
+    x = m.add(BatchNorm2D(out_c), inputs=x, name=f"{tag}_bn2")
+    if in_c != out_c:
+        src = m.add(Conv2D(in_c, out_c, 1, bias=False, rng=rng),
+                    inputs=src, name=f"{tag}_proj")
+    joined = m.add(Add(), inputs=[x, src], name=f"{tag}_add")
+    return m.add(ReLU(), inputs=joined, name=f"{tag}_out")
+
+
+def proxy(rng: np.random.Generator | None = None) -> Model:
+    """Mini residual network for 32x32 3-channel inputs."""
+    rng = rng or np.random.default_rng(42)
+    m = Model(name="resnet50-proxy")
+    m.add(Conv2D(3, 16, 3, padding=1, bias=False, rng=rng), name="conv1")
+    m.add(BatchNorm2D(16), name="conv1_bn")
+    x = m.add(ReLU(), name="conv1_relu")
+    x = _proxy_block(m, rng, "block1", 16, 16, x)
+    pool1 = m.add(MaxPool2D(2), inputs=x, name="pool1")  # 16
+    x = _proxy_block(m, rng, "block2", 16, 32, pool1)
+    pool2 = m.add(MaxPool2D(2), inputs=x, name="pool2")  # 8
+    x = _proxy_block(m, rng, "block3", 32, 48, pool2)
+    m.add(GlobalAvgPool2D(), inputs=x, name="avg_pool")
+    m.add(Dense(48, _PROXY_CLASSES, rng=rng), name="fc1000")
+    m.add(Softmax(), name="softmax")
+    return m

@@ -1,0 +1,94 @@
+"""2-D mesh topology wiring.
+
+The paper's accelerator is a 4x4 mesh whose four corner nodes host the
+memory interfaces and whose remaining twelve nodes are PEs (Fig. 7).
+``Mesh`` owns the routers and the neighbor wiring; traffic movement is
+orchestrated by :class:`repro.noc.simulator.NocSimulator`.
+"""
+
+from __future__ import annotations
+
+from .router import EAST, LOCAL, NORTH, SOUTH, WEST, Router
+
+__all__ = ["Mesh", "OPPOSITE"]
+
+#: the input port on the neighbor that our output port feeds
+OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+
+
+class Mesh:
+    """``width x height`` mesh of wormhole routers."""
+
+    def __init__(
+        self,
+        width: int = 4,
+        height: int = 4,
+        buffer_depth: int = 4,
+        pipeline_depth: int = 2,
+        routing: str = "xy",
+        num_vcs: int = 1,
+    ) -> None:
+        if width < 2 or height < 2:
+            raise ValueError("mesh needs at least 2x2 nodes")
+        from .routing import ROUTING_ALGORITHMS
+
+        if routing not in ROUTING_ALGORITHMS:
+            raise ValueError(
+                f"unknown routing {routing!r}; use one of {sorted(ROUTING_ALGORITHMS)}"
+            )
+        self.width = width
+        self.height = height
+        self.routing_name = routing
+        self.num_vcs = num_vcs
+        algo_cls = ROUTING_ALGORITHMS[routing]
+        self.routers = [
+            Router(
+                i,
+                width,
+                height,
+                buffer_depth,
+                pipeline_depth,
+                routing=algo_cls(),
+                num_vcs=num_vcs,
+            )
+            for i in range(width * height)
+        ]
+        # ejection is sink-buffered: effectively infinite credit
+        for r in self.routers:
+            r.credits[LOCAL] = [1 << 30] * num_vcs
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def corner_ids(self) -> list[int]:
+        """Memory-interface positions in the paper's floorplan."""
+        w, h = self.width, self.height
+        return [0, w - 1, w * (h - 1), w * h - 1]
+
+    def pe_ids(self) -> list[int]:
+        corners = set(self.corner_ids())
+        return [i for i in range(self.num_nodes) if i not in corners]
+
+    def neighbor(self, node_id: int, out_port: int) -> int | None:
+        """Node on the other end of an output port (None at mesh edge)."""
+        x, y = node_id % self.width, node_id // self.width
+        if out_port == NORTH:
+            return node_id - self.width if y > 0 else None
+        if out_port == SOUTH:
+            return node_id + self.width if y < self.height - 1 else None
+        if out_port == EAST:
+            return node_id + 1 if x < self.width - 1 else None
+        if out_port == WEST:
+            return node_id - 1 if x > 0 else None
+        return None
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Manhattan distance (the XY route length)."""
+        sx, sy = src % self.width, src // self.width
+        dx, dy = dst % self.width, dst // self.width
+        return abs(sx - dx) + abs(sy - dy)
+
+    def nearest_corner(self, node_id: int) -> int:
+        """Memory interface closest to a node (ties by corner order)."""
+        return min(self.corner_ids(), key=lambda c: self.hop_count(node_id, c))

@@ -1,0 +1,71 @@
+"""Network interface: packet injection queues and flit reassembly."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .flit import Flit, Packet, packetize
+
+__all__ = ["NetworkInterface"]
+
+
+class NetworkInterface:
+    """Per-node NIC.
+
+    Injection: packets queue up, are expanded to flit trains and fed to
+    the router's local input port at one flit per cycle (64-bit
+    node-to-router interface, same width as the links).
+
+    Ejection: flits arriving on the router's local output are collected
+    per packet; when the tail lands the packet is delivered to the node.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._inject_queue: deque[Flit] = deque()
+        self._pending_flits: dict[int, int] = {}  # pid -> flits seen
+        self.injected_packets = 0
+        self.delivered_packets = 0
+
+    # -- injection -------------------------------------------------------
+    def enqueue(self, packet: Packet, cycle: int) -> None:
+        if packet.src != self.node_id:
+            raise ValueError(
+                f"packet src {packet.src} does not match NIC node {self.node_id}"
+            )
+        packet.injected_cycle = cycle
+        self._inject_queue.extend(packetize(packet))
+        self.injected_packets += 1
+
+    def next_flit(self) -> Flit | None:
+        """Peek the flit waiting to enter the router (None if idle)."""
+        return self._inject_queue[0] if self._inject_queue else None
+
+    def pop_flit(self) -> Flit:
+        return self._inject_queue.popleft()
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._inject_queue)
+
+    @property
+    def queued_flits(self) -> int:
+        return len(self._inject_queue)
+
+    # -- ejection --------------------------------------------------------
+    def eject(self, flit: Flit, cycle: int) -> Packet | None:
+        """Absorb an arriving flit; returns the packet once complete."""
+        pid = flit.packet.pid
+        seen = self._pending_flits.get(pid, 0) + 1
+        if flit.is_tail:
+            self._pending_flits.pop(pid, None)
+            expected = flit.packet.num_flits
+            if seen != expected:
+                raise RuntimeError(
+                    f"packet {pid}: tail after {seen} flits, expected {expected}"
+                )
+            flit.packet.delivered_cycle = cycle
+            self.delivered_packets += 1
+            return flit.packet
+        self._pending_flits[pid] = seen
+        return None

@@ -1,0 +1,166 @@
+"""Synthetic traffic patterns and load-latency characterization.
+
+The paper's NoC substrate is a Noxim-class simulator; the standard way
+to validate such a simulator is the latency-vs-injection-rate curve
+under the classic synthetic patterns (uniform random, transpose,
+bit-reversal, hotspot).  This module provides those patterns, a
+Bernoulli-injection traffic node, and :func:`characterize`, which sweeps
+the injection rate and reports mean packet latency and delivered
+throughput until saturation — the curves every NoC paper shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .flit import Packet, TrafficClass
+from .mesh import Mesh
+from .simulator import Node, NocSimulator
+
+__all__ = [
+    "uniform_random",
+    "transpose",
+    "bit_reversal",
+    "hotspot",
+    "PatternNode",
+    "LoadPoint",
+    "characterize",
+]
+
+
+def uniform_random(src: int, num_nodes: int, rng: np.random.Generator) -> int:
+    """Destination uniformly among the other nodes."""
+    dst = int(rng.integers(0, num_nodes - 1))
+    return dst if dst < src else dst + 1
+
+
+def transpose(src: int, num_nodes: int, rng: np.random.Generator) -> int:
+    """(x, y) -> (y, x) on a square mesh; self-pairs fall back to uniform."""
+    side = int(round(num_nodes**0.5))
+    if side * side != num_nodes:
+        raise ValueError("transpose pattern needs a square mesh")
+    x, y = src % side, src // side
+    dst = x * side + y
+    return dst if dst != src else uniform_random(src, num_nodes, rng)
+
+
+def bit_reversal(src: int, num_nodes: int, rng: np.random.Generator) -> int:
+    """Reverse the node-id bits; self-pairs fall back to uniform."""
+    bits = max(1, (num_nodes - 1).bit_length())
+    dst = int(f"{src:0{bits}b}"[::-1], 2) % num_nodes
+    return dst if dst != src else uniform_random(src, num_nodes, rng)
+
+
+def hotspot(src: int, num_nodes: int, rng: np.random.Generator,
+            spot: int = 0, fraction: float = 0.3) -> int:
+    """A fraction of traffic converges on one node (memory-like)."""
+    if src != spot and rng.random() < fraction:
+        return spot
+    return uniform_random(src, num_nodes, rng)
+
+
+class PatternNode(Node):
+    """Bernoulli packet injection following a destination pattern.
+
+    ``rate`` is the per-cycle probability of generating one
+    ``payload_bytes`` packet during the warm/measurement window.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        pattern,
+        rate: float,
+        duration: int,
+        payload_bytes: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(node_id)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be a probability")
+        self.num_nodes = num_nodes
+        self.pattern = pattern
+        self.rate = rate
+        self.duration = duration
+        self.payload_bytes = payload_bytes
+        self.rng = np.random.default_rng(seed * 1009 + node_id)
+        self.generated = 0
+        self.received: int = 0
+        self._cycle_seen = -1
+
+    def step(self, cycle: int) -> None:
+        self._cycle_seen = cycle
+        if cycle >= self.duration:
+            return
+        if self.rng.random() < self.rate:
+            dst = self.pattern(self.node_id, self.num_nodes, self.rng)
+            self.send(
+                Packet(self.node_id, dst, self.payload_bytes, TrafficClass.REQUEST),
+                cycle,
+            )
+            self.generated += 1
+
+    def on_packet(self, packet: Packet, cycle: int) -> None:
+        self.received += 1
+
+    @property
+    def idle(self) -> bool:
+        # hold the liveness token until the generation window closes;
+        # in-flight flits then keep the simulator running on their own
+        return self._cycle_seen >= self.duration - 1
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    injection_rate: float  # packets / node / cycle offered
+    mean_latency: float  # cycles
+    throughput: float  # packets / node / cycle delivered
+    delivered: int
+
+
+def characterize(
+    pattern,
+    rates,
+    mesh_factory=Mesh,
+    duration: int = 2000,
+    payload_bytes: int = 32,
+    seed: int = 0,
+    max_cycles: int = 200_000,
+) -> list[LoadPoint]:
+    """Latency/throughput vs offered load for one traffic pattern.
+
+    ``mesh_factory`` builds a *fresh* mesh per load point (router state
+    is not reusable across runs).
+    """
+    points = []
+    for rate in rates:
+        mesh_inst = mesh_factory()
+        sim = NocSimulator(mesh_inst)
+        nodes = [
+            PatternNode(
+                i,
+                mesh_inst.num_nodes,
+                pattern,
+                rate=float(rate),
+                duration=duration,
+                payload_bytes=payload_bytes,
+                seed=seed,
+            )
+            for i in range(mesh_inst.num_nodes)
+        ]
+        for n in nodes:
+            sim.attach_node(n)
+        stats = sim.run(max_cycles=max_cycles)
+        delivered = stats.packets_delivered
+        points.append(
+            LoadPoint(
+                injection_rate=float(rate),
+                mean_latency=stats.mean_packet_latency,
+                throughput=delivered / (mesh_inst.num_nodes * duration),
+                delivered=delivered,
+            )
+        )
+    return points

@@ -1,0 +1,162 @@
+"""Processing-element node.
+
+Each PE (Fig. 7 of the paper) has 8 KB of local memory, eight parallel
+lanes of 8-way vector MAC units (64 MACs/cycle), and — in the compressed
+configuration — decompression units in front of the MAC datapath.
+
+For one layer, a PE executes a :class:`PETask`: wait until the expected
+weight and ifmap bytes have arrived from the memory interfaces, spend
+``max(compute_cycles, decompress_cycles)`` cycles in the datapath
+(decompression is pipelined with the MACs, so the slower of the two sets
+the pace), then stream the output feature map back to its memory
+interface.  Event counters feed the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .flit import Packet, TrafficClass
+from .simulator import Node
+
+__all__ = ["PEConfig", "PETask", "ProcessingElement"]
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    local_memory_bytes: int = 8 * 1024
+    #: 8 lanes x 8-way dot product
+    macs_per_cycle: int = 64
+    #: transfers larger than this are split into multiple packets
+    max_packet_bytes: int = 256
+
+
+@dataclass
+class PETask:
+    """One layer's work assignment for one PE."""
+
+    expect_weight_bytes: int
+    expect_ifmap_bytes: int
+    ofmap_bytes: int
+    ofmap_dst: int
+    compute_cycles: int
+    decompress_cycles: int = 0
+    macs: int = 0
+    #: demand mode: the PE requests its inputs from this memory
+    #: interface instead of relying on a static schedule (None = static)
+    request_mc: int | None = None
+
+    @property
+    def datapath_cycles(self) -> int:
+        return max(self.compute_cycles, self.decompress_cycles)
+
+
+class ProcessingElement(Node):
+    def __init__(self, node_id: int, config: PEConfig = PEConfig()) -> None:
+        super().__init__(node_id)
+        self.config = config
+        self.task: PETask | None = None
+        self._got_weight = 0
+        self._got_ifmap = 0
+        self._compute_until: int | None = None
+        self._sent_output = False
+        self._requested = False
+        self.busy_cycles = 0
+        self.local_mem_bytes_accessed = 0
+        self.macs_done = 0
+
+    def assign(self, task: PETask) -> None:
+        if self.task is not None and not self._done():
+            raise RuntimeError(f"PE {self.node_id}: task already in flight")
+        self.task = task
+        self._got_weight = 0
+        self._got_ifmap = 0
+        self._compute_until = None
+        self._requested = task.request_mc is None
+        self._sent_output = task.ofmap_bytes == 0
+        if task.expect_weight_bytes == 0 and task.expect_ifmap_bytes == 0:
+            # compute-only task: start immediately at the next step
+            pass
+
+    def _done(self) -> bool:
+        return self.task is None or (
+            self._sent_output and self._compute_until is not None
+        )
+
+    def _inputs_ready(self) -> bool:
+        assert self.task is not None
+        return (
+            self._got_weight >= self.task.expect_weight_bytes
+            and self._got_ifmap >= self.task.expect_ifmap_bytes
+        )
+
+    # -- node protocol -----------------------------------------------------
+    def on_packet(self, packet: Packet, cycle: int) -> None:
+        if self.task is None:
+            return
+        # every arriving byte is written to (and later read from) local SRAM
+        self.local_mem_bytes_accessed += 2 * packet.payload_bytes
+        if packet.traffic_class is TrafficClass.WEIGHTS:
+            self._got_weight += packet.payload_bytes
+        elif packet.traffic_class is TrafficClass.IFMAP:
+            self._got_ifmap += packet.payload_bytes
+
+    def step(self, cycle: int) -> None:
+        task = self.task
+        if task is None or self._sent_output and self._compute_until is not None:
+            return
+        if not self._requested:
+            # demand mode: one request packet per expected input stream
+            for nbytes, tclass in (
+                (task.expect_weight_bytes, TrafficClass.WEIGHTS),
+                (task.expect_ifmap_bytes, TrafficClass.IFMAP),
+            ):
+                if nbytes > 0:
+                    self.send(
+                        Packet(
+                            src=self.node_id,
+                            dst=task.request_mc,
+                            payload_bytes=8,
+                            traffic_class=TrafficClass.REQUEST,
+                            tag=(str(tclass), nbytes),
+                        ),
+                        cycle,
+                    )
+            self._requested = True
+            return
+        if self._compute_until is None:
+            if self._inputs_ready():
+                dur = max(task.datapath_cycles, 1)
+                self._compute_until = cycle + dur
+                self.busy_cycles += dur
+                self.macs_done += task.macs
+            return
+        if cycle >= self._compute_until and not self._sent_output:
+            remaining = task.ofmap_bytes
+            chunk = self.config.max_packet_bytes
+            # output writes hit local SRAM once on the way out
+            self.local_mem_bytes_accessed += task.ofmap_bytes
+            while remaining > 0:
+                n = min(chunk, remaining)
+                self.send(
+                    Packet(
+                        src=self.node_id,
+                        dst=task.ofmap_dst,
+                        payload_bytes=n,
+                        traffic_class=TrafficClass.OFMAP,
+                    ),
+                    cycle,
+                )
+                remaining -= n
+            self._sent_output = True
+
+    @property
+    def idle(self) -> bool:
+        if self.task is None:
+            return True
+        if not self._requested:
+            return False  # demand requests are still to be issued
+        if not self._inputs_ready():
+            # waiting on the network; the MCs/NICs hold the liveness token
+            return True
+        return self._compute_until is not None and self._sent_output

@@ -1,0 +1,206 @@
+"""Input-buffered wormhole router with virtual channels (Noxim-style).
+
+Five ports (North, South, East, West, Local).  Each input port owns
+``num_vcs`` FIFOs of ``buffer_depth`` flits; credit-based flow control
+tracks free slots in the *downstream* input buffer per (port, VC).
+Routing is pluggable (:mod:`repro.noc.routing`; dimension-order XY by
+default, deadlock-free on a mesh).  Switch allocation is per-output
+round-robin among requesting (input, VC) pairs, with wormhole locks:
+once a head flit claims an output on its VC, body flits of the same
+packet keep that (output, VC) until the tail releases it.
+
+Virtual channels remove head-of-line blocking: a worm stalled on one VC
+no longer blocks packets queued behind it on another VC of the same
+physical port.  Packets keep one VC end to end (assigned at injection
+from the packet id), which avoids per-hop VC allocation while retaining
+most of the HoL-blocking benefit — the ``benchmarks/test_ablations.py``
+VC sweep quantifies it.
+
+The router pipeline depth (route computation + VC/switch allocation +
+traversal) is modelled by stamping each arriving flit with a
+``ready_cycle``; a flit is only eligible for switch allocation
+``pipeline_depth`` cycles after it entered the buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .flit import Flit
+
+__all__ = ["PORT_NAMES", "LOCAL", "Router", "RouterStats"]
+
+# port indices
+NORTH, SOUTH, EAST, WEST, LOCAL = range(5)
+PORT_NAMES = ("north", "south", "east", "west", "local")
+
+
+@dataclass
+class RouterStats:
+    flits_forwarded: int = 0
+    buffer_writes: int = 0
+    arbitration_conflicts: int = 0
+
+
+class Router:
+    """One mesh router.
+
+    Coordinates ``(x, y)``: x grows eastward, y grows southward; node id
+    is ``y * width + x``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        width: int,
+        height: int,
+        buffer_depth: int = 4,
+        pipeline_depth: int = 2,
+        routing=None,
+        num_vcs: int = 1,
+    ) -> None:
+        if buffer_depth < 1 or pipeline_depth < 1:
+            raise ValueError("buffer_depth and pipeline_depth must be >= 1")
+        if num_vcs < 1:
+            raise ValueError("num_vcs must be >= 1")
+        self.node_id = node_id
+        self.width = width
+        self.height = height
+        self.x = node_id % width
+        self.y = node_id // width
+        self.buffer_depth = buffer_depth
+        self.pipeline_depth = pipeline_depth
+        self.num_vcs = num_vcs
+        if routing is None:
+            from .routing import XYRouting
+
+            routing = XYRouting()
+        self.routing = routing
+        #: buffers[port][vc] -> FIFO of flits
+        self.buffers: list[list[deque[Flit]]] = [
+            [deque() for _ in range(num_vcs)] for _ in range(5)
+        ]
+        #: credits[out_port][vc] = free slots in the downstream buffer
+        self.credits: list[list[int]] = [
+            [buffer_depth] * num_vcs for _ in range(5)
+        ]
+        #: wormhole reservation: (output port, vc) -> (input port, vc)
+        self.output_lock: dict[tuple[int, int], tuple[int, int]] = {}
+        #: head-chosen output per in-flight packet, so body/tail flits of
+        #: a worm follow their head even under adaptive routing
+        self._worm_route: dict[int, int] = {}
+        #: round-robin pointer per output port
+        self._rr: list[int] = [0] * 5
+        self.stats = RouterStats()
+
+    # -- geometry ----------------------------------------------------------
+    def route(self, dst: int) -> int:
+        """Output port for ``dst`` under this router's routing algorithm."""
+        return self.routing.route(self, dst)
+
+    def _route_flit(self, flit: Flit) -> int:
+        """Route with wormhole consistency: heads decide, bodies follow."""
+        pid = flit.packet.pid
+        if flit.is_head:
+            port = self.routing.route(self, flit.dst)
+            if not flit.is_tail:
+                self._worm_route[pid] = port
+            return port
+        port = self._worm_route.get(pid)
+        if port is None:  # pragma: no cover - protocol violation guard
+            raise RuntimeError(
+                f"router {self.node_id}: body flit of packet {pid} arrived "
+                "before its head"
+            )
+        return port
+
+    # -- flow control --------------------------------------------------------
+    def can_accept(self, in_port: int, vc: int = 0) -> bool:
+        return len(self.buffers[in_port][vc]) < self.buffer_depth
+
+    def accept(self, flit: Flit, in_port: int, cycle: int) -> None:
+        """Enqueue an arriving flit (link traversal completes this cycle)."""
+        if not self.can_accept(in_port, flit.vc):
+            raise RuntimeError(
+                f"router {self.node_id}: buffer overflow on port "
+                f"{PORT_NAMES[in_port]} vc{flit.vc} (credit protocol violated)"
+            )
+        flit.ready_cycle = cycle + self.pipeline_depth
+        self.buffers[in_port][flit.vc].append(flit)
+        self.stats.buffer_writes += 1
+
+    # -- switch allocation ----------------------------------------------------
+    def plan_moves(self, cycle: int) -> list[tuple[int, int, Flit]]:
+        """Select up to one flit per output port to forward this cycle.
+
+        Returns ``(in_port, out_port, flit)`` triples; the caller commits
+        them (two-phase update keeps routers order-independent).  Credits
+        are decremented here so a single cycle never oversubscribes a
+        downstream buffer.
+        """
+        # collect head-of-line candidates per output across (port, vc)
+        requests: dict[int, list[tuple[int, int]]] = {}
+        for in_port in range(5):
+            for vc in range(self.num_vcs):
+                buf = self.buffers[in_port][vc]
+                if not buf:
+                    continue
+                flit = buf[0]
+                if flit.ready_cycle > cycle:
+                    continue
+                out_port = self._route_flit(flit)
+                holder = self.output_lock.get((out_port, vc))
+                if flit.is_head:
+                    if holder is not None and holder != (in_port, vc):
+                        continue  # (output, vc) busy with another worm
+                else:
+                    if holder != (in_port, vc):
+                        continue  # body/tail may only follow their own worm
+                requests.setdefault(out_port, []).append((in_port, vc))
+
+        moves: list[tuple[int, int, Flit]] = []
+        for out_port, cands in requests.items():
+            # filter by downstream credit on each candidate's VC
+            cands = [c for c in cands if self.credits[out_port][c[1]] > 0]
+            if not cands:
+                continue
+            if len(cands) > 1:
+                self.stats.arbitration_conflicts += len(cands) - 1
+            # round-robin among requesters (by input port, then vc)
+            start = self._rr[out_port]
+            chosen_port, chosen_vc = min(
+                cands, key=lambda c: ((c[0] - start) % 5, c[1])
+            )
+            self._rr[out_port] = (chosen_port + 1) % 5
+            flit = self.buffers[chosen_port][chosen_vc].popleft()
+            # wormhole lock maintenance
+            if flit.is_head and not flit.is_tail:
+                self.output_lock[(out_port, chosen_vc)] = (chosen_port, chosen_vc)
+            if flit.is_tail:
+                self.output_lock.pop((out_port, chosen_vc), None)
+                self._worm_route.pop(flit.packet.pid, None)
+            self.credits[out_port][chosen_vc] -= 1
+            self.stats.flits_forwarded += 1
+            moves.append((chosen_port, out_port, flit))
+        return moves
+
+    def return_credit(self, out_port: int, vc: int = 0) -> None:
+        """Downstream consumed a flit from the buffer we feed."""
+        if self.credits[out_port][vc] >= self.buffer_depth:
+            raise RuntimeError(
+                f"router {self.node_id}: credit overflow on port "
+                f"{PORT_NAMES[out_port]} vc{vc}"
+            )
+        self.credits[out_port][vc] += 1
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(b) for port in self.buffers for b in port)
+
+    def port_occupancy(self, in_port: int) -> int:
+        return sum(len(b) for b in self.buffers[in_port])
+
+    def credit_total(self, out_port: int) -> int:
+        """Aggregate downstream credit (used by adaptive routing)."""
+        return sum(self.credits[out_port])

@@ -1,0 +1,99 @@
+"""Routing algorithms for the mesh router.
+
+Noxim-style selectable routing.  All three algorithms are *minimal*
+(every hop reduces the Manhattan distance), so packet latency lower
+bounds are identical; they differ in how they spread load:
+
+* ``XYRouting`` — dimension order, x first.  Deterministic and
+  deadlock-free with a single VC; the paper's default.
+* ``YXRouting`` — dimension order, y first.  Same properties, rotated
+  load pattern; useful as an ablation of routing-induced hotspots.
+* ``WestFirstRouting`` — Glass/Ni turn-model partially adaptive
+  routing: the two west-bound turns are forbidden, all other minimal
+  turns are allowed, so a packet may choose between x and y moves based
+  on local congestion (fewest-occupied-buffer output).  Deadlock-free
+  with a single VC by the turn-model argument.
+"""
+
+from __future__ import annotations
+
+from .router import EAST, LOCAL, NORTH, SOUTH, WEST
+
+__all__ = ["XYRouting", "YXRouting", "WestFirstRouting", "ROUTING_ALGORITHMS"]
+
+
+class _Base:
+    name = "base"
+
+    def candidates(self, router, dst: int) -> list[int]:  # pragma: no cover
+        raise NotImplementedError
+
+    def route(self, router, dst: int) -> int:
+        """Pick one output port; adaptive algorithms use credit counts."""
+        options = self.candidates(router, dst)
+        if len(options) == 1:
+            return options[0]
+        # prefer the output with the most downstream credit (least congested)
+        return max(options, key=lambda p: router.credit_total(p))
+
+
+class XYRouting(_Base):
+    name = "xy"
+
+    def candidates(self, router, dst: int) -> list[int]:
+        dx = (dst % router.width) - router.x
+        if dx > 0:
+            return [EAST]
+        if dx < 0:
+            return [WEST]
+        dy = (dst // router.width) - router.y
+        if dy > 0:
+            return [SOUTH]
+        if dy < 0:
+            return [NORTH]
+        return [LOCAL]
+
+
+class YXRouting(_Base):
+    name = "yx"
+
+    def candidates(self, router, dst: int) -> list[int]:
+        dy = (dst // router.width) - router.y
+        if dy > 0:
+            return [SOUTH]
+        if dy < 0:
+            return [NORTH]
+        dx = (dst % router.width) - router.x
+        if dx > 0:
+            return [EAST]
+        if dx < 0:
+            return [WEST]
+        return [LOCAL]
+
+
+class WestFirstRouting(_Base):
+    name = "west-first"
+
+    def candidates(self, router, dst: int) -> list[int]:
+        dx = (dst % router.width) - router.x
+        dy = (dst // router.width) - router.y
+        if dx == 0 and dy == 0:
+            return [LOCAL]
+        if dx < 0:
+            # west moves must come first and are non-adaptive
+            return [WEST]
+        options = []
+        if dx > 0:
+            options.append(EAST)
+        if dy > 0:
+            options.append(SOUTH)
+        elif dy < 0:
+            options.append(NORTH)
+        return options
+
+
+ROUTING_ALGORITHMS = {
+    "xy": XYRouting,
+    "yx": YXRouting,
+    "west-first": WestFirstRouting,
+}

@@ -1,0 +1,66 @@
+"""Link-utilization analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.linkstats import link_utilization, render_link_report
+from repro.noc import Mesh, NocSimulator, Packet, TrafficClass
+from repro.noc.simulator import Node
+
+
+class _OneShot(Node):
+    def __init__(self, node_id, dst, nbytes):
+        super().__init__(node_id)
+        self.dst, self.nbytes = dst, nbytes
+        self.sent = False
+
+    def step(self, cycle):
+        if not self.sent:
+            self.send(Packet(self.node_id, self.dst, self.nbytes, TrafficClass.WEIGHTS), cycle)
+            self.sent = True
+
+    @property
+    def idle(self):
+        return self.sent
+
+
+class TestLinkUtilization:
+    def _run(self):
+        sim = NocSimulator(Mesh(4, 4))
+        sim.attach_node(_OneShot(0, 3, 80))  # 11 flits east along row 0
+        sim.attach_node(Node(3))
+        stats = sim.run()
+        return stats, sim.mesh
+
+    def test_flits_counted_per_link(self):
+        stats, mesh = self._run()
+        links = link_utilization(stats, mesh)
+        # 3 eastbound links on row 0, 11 flits each
+        assert len(links) == 3
+        assert all(l.flits == 11 and l.port == "east" for l in links)
+        assert {(l.src, l.dst) for l in links} == {(0, 1), (1, 2), (2, 3)}
+
+    def test_utilization_normalized_by_cycles(self):
+        stats, mesh = self._run()
+        links = link_utilization(stats, mesh)
+        for l in links:
+            assert 0 < l.utilization <= 1.0
+            assert l.utilization == pytest.approx(l.flits / stats.cycles)
+
+    def test_sorted_descending(self):
+        stats, mesh = self._run()
+        links = link_utilization(stats, mesh)
+        flits = [l.flits for l in links]
+        assert flits == sorted(flits, reverse=True)
+
+    def test_requires_completed_run(self):
+        from repro.noc.simulator import NocStats
+
+        with pytest.raises(ValueError):
+            link_utilization(NocStats(), Mesh(4, 4))
+
+    def test_render(self):
+        stats, mesh = self._run()
+        out = render_link_report(link_utilization(stats, mesh))
+        assert "->" in out and "flits" in out

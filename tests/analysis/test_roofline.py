@@ -1,0 +1,79 @@
+"""Roofline classification of accelerator layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.roofline import LayerRoofline, machine_balance, roofline
+from repro.core import compress_percent
+from repro.mapping import Accelerator
+from repro.nn import zoo
+from repro.nn.arch import ArchBuilder
+
+
+def _sched(acc, layer, **kw):
+    return acc.schedule_layer(layer, **kw)
+
+
+class TestMachineBalance:
+    def test_paper_configuration(self):
+        b = machine_balance()
+        assert b.peak_macs_per_cycle == 12 * 64
+        assert b.peak_dram_bytes_per_cycle == 32.0
+        assert b.balance == pytest.approx(24.0)
+
+
+class TestRoofline:
+    def test_fc_layer_is_memory_bound(self):
+        """FC layers do 1 MAC per weight: intensity << balance."""
+        acc = Accelerator()
+        b = ArchBuilder("t", (1, 1, 1))
+        b.set_shape((400,))
+        b.fc("fc", 1200)
+        r = roofline(_sched(acc, b.build().layer("fc")))
+        assert r.bound == "memory"
+        assert r.intensity < 1.0
+
+    def test_conv_layer_intensity_higher(self):
+        """Convs reuse each weight across the spatial map."""
+        acc = Accelerator()
+        b = ArchBuilder("t", (64, 28, 28))
+        b.conv("conv", 128, 3, pad=1, bias=False)
+        r_conv = roofline(_sched(acc, b.build().layer("conv")))
+        b2 = ArchBuilder("t", (1, 1, 1))
+        b2.set_shape((1024,))
+        b2.fc("fc", 1024)
+        r_fc = roofline(_sched(acc, b2.build().layer("fc")))
+        assert r_conv.intensity > r_fc.intensity
+
+    def test_compression_raises_intensity(self):
+        """Shrinking the weight stream moves the layer toward the
+        compute roof — the paper's mechanism in roofline terms."""
+        acc = Accelerator()
+        spec = zoo.lenet5.full()
+        layer = spec.layer("dense_1")
+        base = roofline(_sched(acc, layer))
+        w = spec.materialize("dense_1").ravel()
+        eff = acc.compression_effect(compress_percent(w, 15.0))
+        comp = roofline(_sched(acc, layer, compression=eff))
+        assert comp.intensity > base.intensity
+        assert comp.attainable_macs_per_cycle > base.attainable_macs_per_cycle
+
+    def test_attainable_capped_by_compute_roof(self):
+        b = machine_balance()
+        acc = Accelerator()
+        bld = ArchBuilder("t", (64, 28, 28))
+        bld.conv("conv", 512, 3, pad=1, bias=False)
+        r = roofline(_sched(acc, bld.build().layer("conv")), b)
+        assert r.attainable_macs_per_cycle <= b.peak_macs_per_cycle
+
+    def test_whole_lenet_is_memory_bound(self):
+        acc = Accelerator()
+        spec = zoo.lenet5.full()
+        from repro.mapping.accelerator import SIMULATED_KINDS
+
+        for layer in spec.layers:
+            if layer.kind not in SIMULATED_KINDS or layer.macs == 0:
+                continue
+            r = roofline(_sched(acc, layer))
+            assert r.bound == "memory", layer.name

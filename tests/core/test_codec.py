@@ -1,0 +1,72 @@
+"""Wire-format serialization round trips and error handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import codec
+from repro.core.compression import StorageFormat, compress_percent
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("delta_pct", [0.0, 10.0, 25.0])
+    def test_float32_roundtrip(self, rng, delta_pct):
+        w = rng.normal(size=5000).astype(np.float32)
+        stream = compress_percent(w, delta_pct)
+        back = codec.decode(codec.encode(stream))
+        mq, qq = stream.storage_coefficients()
+        np.testing.assert_array_equal(back.m, mq)
+        np.testing.assert_array_equal(back.q, qq)
+        np.testing.assert_array_equal(back.lengths, stream.lengths)
+        assert back.delta == stream.delta
+        assert back.fmt == stream.fmt
+
+    def test_int8_roundtrip(self, rng):
+        w = rng.integers(-128, 128, size=3000).astype(np.float32)
+        stream = compress_percent(w, 5.0, fmt=StorageFormat.int8())
+        back = codec.decode(codec.encode(stream))
+        mq, qq = stream.storage_coefficients()
+        np.testing.assert_array_equal(back.m, mq)
+        np.testing.assert_array_equal(back.q, qq)
+        assert back.fmt == StorageFormat.int8()
+
+    def test_decompression_identical_after_roundtrip(self, rng):
+        w = rng.normal(size=2000).astype(np.float32)
+        stream = compress_percent(w, 12.0)
+        back = codec.decode(codec.encode(stream))
+        np.testing.assert_array_equal(back.decompress(), stream.decompress())
+
+    def test_blob_size_is_header_plus_segments(self, rng):
+        w = rng.normal(size=1000).astype(np.float32)
+        stream = compress_percent(w, 0.0)
+        blob = codec.encode(stream)
+        assert len(blob) == codec.HEADER_BYTES + stream.compressed_bytes
+
+    def test_empty_stream(self):
+        stream = compress_percent(np.array([], dtype=np.float32), 0.0)
+        back = codec.decode(codec.encode(stream))
+        assert back.num_segments == 0
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(ValueError, match="truncated"):
+            codec.decode(b"RW")
+
+    def test_bad_magic(self, rng):
+        blob = bytearray(codec.encode(compress_percent(rng.normal(size=10), 0.0)))
+        blob[0] = ord("X")
+        with pytest.raises(ValueError, match="magic"):
+            codec.decode(bytes(blob))
+
+    def test_truncated_body(self, rng):
+        blob = codec.encode(compress_percent(rng.normal(size=100), 0.0))
+        with pytest.raises(ValueError, match="size mismatch"):
+            codec.decode(blob[:-3])
+
+    def test_bad_version(self, rng):
+        blob = bytearray(codec.encode(compress_percent(rng.normal(size=10), 0.0)))
+        blob[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            codec.decode(bytes(blob))

@@ -1,0 +1,97 @@
+"""Whole-model compressed archives: round trips, footprint, errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model_store import ModelArchive, compress_model, load_archive
+from repro.datasets import train_test
+from repro.nn import TrainConfig, evaluate, train
+from repro.nn.zoo import lenet5
+
+
+@pytest.fixture(scope="module")
+def trained():
+    split = train_test("digits", 1500, 300, seed=21)
+    model = lenet5.proxy(np.random.default_rng(21))
+    train(model, split.x_train, split.y_train, TrainConfig(epochs=5, lr=0.05))
+    return model, split
+
+
+class TestCompressModel:
+    def test_partition_of_layers(self, trained):
+        model, _ = trained
+        archive = compress_model(model, {"dense_1": 10.0})
+        assert set(archive.compressed) == {"dense_1"}
+        assert set(archive.raw) == {"conv2d_1", "conv2d_2", "dense_2", "dense_3"}
+
+    def test_footprint_smaller_than_raw(self, trained):
+        model, _ = trained
+        plain = compress_model(model, {})
+        squeezed = compress_model(model, {"dense_1": 15.0})
+        assert squeezed.weights_footprint() < plain.weights_footprint()
+
+    def test_unknown_layer_rejected(self, trained):
+        model, _ = trained
+        with pytest.raises(ValueError, match="unknown layers"):
+            compress_model(model, {"nope": 5.0})
+
+    def test_state_rides_along(self, trained):
+        model, _ = trained
+        archive = compress_model(model, {"dense_1": 5.0})
+        # biases are state (param1 of dense layers)
+        assert any(k.endswith("param1") for k in archive.state)
+
+
+class TestApplyAndRoundTrip:
+    def test_apply_reproduces_compressed_inference(self, trained):
+        model, split = trained
+        archive = compress_model(model, {"dense_1": 10.0})
+        fresh = lenet5.proxy(np.random.default_rng(99))
+        archive.apply(fresh)
+        # the fresh model behaves like the compressed original
+        from repro.core.pipeline import apply_compression
+
+        stream, original = apply_compression(model, "dense_1", 10.0)
+        np.testing.assert_allclose(
+            fresh.predict(split.x_test[:64]),
+            model.predict(split.x_test[:64]),
+            rtol=1e-5,
+        )
+        model.set_weights("dense_1", original)
+
+    def test_file_roundtrip(self, trained, tmp_path):
+        model, split = trained
+        archive = compress_model(model, {"dense_1": 10.0, "dense_2": 15.0})
+        path = tmp_path / "model.npz"
+        archive.to_file(path)
+        loaded = load_archive(path)
+        assert loaded.assignments == archive.assignments
+        assert set(loaded.compressed) == set(archive.compressed)
+
+        a, b = lenet5.proxy(np.random.default_rng(1)), lenet5.proxy(
+            np.random.default_rng(2)
+        )
+        archive.apply(a)
+        loaded.apply(b)
+        np.testing.assert_allclose(
+            a.predict(split.x_test[:32]), b.predict(split.x_test[:32]), rtol=1e-6
+        )
+
+    def test_applied_model_accuracy_reasonable(self, trained):
+        model, split = trained
+        base = evaluate(model, split.x_test, split.y_test).top1
+        archive = compress_model(model, {"dense_1": 10.0})
+        fresh = lenet5.proxy(np.random.default_rng(3))
+        archive.apply(fresh)
+        acc = evaluate(fresh, split.x_test, split.y_test).top1
+        assert acc > base - 0.10
+
+    def test_unknown_state_key_rejected(self, trained):
+        model, _ = trained
+        archive = compress_model(model, {})
+        archive.state["bogus.key"] = np.zeros(3, dtype=np.float32)
+        fresh = lenet5.proxy(np.random.default_rng(4))
+        with pytest.raises(ValueError, match="unknown to model"):
+            archive.apply(fresh)

@@ -1,0 +1,73 @@
+"""Pareto utilities on the accuracy/latency/energy space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pareto import DesignPoint, dominates, knee_point, pareto_front
+
+
+def P(label, acc, lat, en):
+    return DesignPoint(label=label, accuracy=acc, latency=lat, energy=en)
+
+
+class TestDominates:
+    def test_clear_domination(self):
+        assert dominates(P("a", 0.9, 0.5, 0.5), P("b", 0.8, 0.9, 0.9))
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = P("a", 0.9, 0.5, 0.5), P("b", 0.9, 0.5, 0.5)
+        assert not dominates(a, b) and not dominates(b, a)
+
+    def test_tradeoff_no_domination(self):
+        a, b = P("a", 0.9, 0.9, 0.9), P("b", 0.8, 0.5, 0.5)
+        assert not dominates(a, b) and not dominates(b, a)
+
+
+class TestParetoFront:
+    def test_delta_sweep_shape(self):
+        # typical sweep: accuracy falls, latency/energy fall -> all Pareto
+        pts = [
+            P("d0", 0.99, 1.00, 1.00),
+            P("d5", 0.98, 0.80, 0.82),
+            P("d10", 0.96, 0.62, 0.65),
+            P("d15", 0.90, 0.50, 0.52),
+        ]
+        assert pareto_front(pts) == pts
+
+    def test_dominated_point_removed(self):
+        pts = [
+            P("good", 0.95, 0.6, 0.6),
+            P("bad", 0.90, 0.7, 0.7),  # worse everywhere
+        ]
+        assert pareto_front(pts) == [pts[0]]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestKneePoint:
+    PTS = [
+        P("d0", 0.99, 1.00, 1.00),
+        P("d10", 0.96, 0.62, 0.65),
+        P("d20", 0.80, 0.40, 0.38),
+    ]
+
+    def test_headline_selection(self):
+        # "less than 5% accuracy degradation": picks d10, not d20
+        assert knee_point(self.PTS, max_accuracy_drop=0.05).label == "d10"
+
+    def test_loose_budget_takes_fastest(self):
+        assert knee_point(self.PTS, max_accuracy_drop=0.5).label == "d20"
+
+    def test_no_admissible_point(self):
+        with pytest.raises(ValueError):
+            knee_point(self.PTS, max_accuracy_drop=-1.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            knee_point([], 0.1)
+
+    def test_explicit_baseline(self):
+        got = knee_point(self.PTS, max_accuracy_drop=0.1, baseline_accuracy=1.0)
+        assert got.label == "d10"

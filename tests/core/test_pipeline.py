@@ -1,0 +1,138 @@
+"""Fig. 8 pipeline and sensitivity analysis on a small trained model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CompressionPipeline, apply_compression
+from repro.core.sensitivity import layer_sensitivity, normalized_sensitivity
+from repro.datasets import train_test
+from repro.nn import TrainConfig, train
+from repro.nn.zoo import lenet5
+
+
+@pytest.fixture(scope="module")
+def trained_lenet():
+    split = train_test("digits", 2500, 500, seed=7)
+    model = lenet5.proxy(np.random.default_rng(7))
+    train(model, split.x_train, split.y_train, TrainConfig(epochs=6, lr=0.05))
+    return model, split
+
+
+class TestApplyCompression:
+    def test_layer_replaced_and_restorable(self, trained_lenet):
+        model, _ = trained_lenet
+        before = model.get_weights("dense_1").copy()
+        stream, original = apply_compression(model, "dense_1", 10.0)
+        after = model.get_weights("dense_1")
+        assert not np.array_equal(after, before)
+        np.testing.assert_array_equal(original, before)
+        assert stream.num_weights == before.size
+        model.set_weights("dense_1", original)
+        np.testing.assert_array_equal(model.get_weights("dense_1"), before)
+
+    def test_shape_preserved(self, trained_lenet):
+        model, _ = trained_lenet
+        _, original = apply_compression(model, "dense_1", 5.0)
+        assert model.get_weights("dense_1").shape == original.shape
+        model.set_weights("dense_1", original)
+
+
+class TestCompressionPipeline:
+    def test_default_layer_is_papers_choice(self, trained_lenet):
+        model, split = trained_lenet
+        p = CompressionPipeline(model, split.x_test, split.y_test)
+        assert p.layer_name == "dense_1"
+
+    def test_baseline_accuracy_reasonable(self, trained_lenet):
+        model, split = trained_lenet
+        p = CompressionPipeline(model, split.x_test, split.y_test)
+        assert p.baseline.top1 > 0.85
+
+    def test_delta0_accuracy_near_baseline(self, trained_lenet):
+        model, split = trained_lenet
+        p = CompressionPipeline(model, split.x_test, split.y_test)
+        rec = p.run_delta(0.0)
+        assert abs(rec.top1 - p.baseline.top1) < 0.05
+
+    def test_model_restored_after_each_delta(self, trained_lenet):
+        model, split = trained_lenet
+        before = model.get_weights("dense_1").copy()
+        p = CompressionPipeline(model, split.x_test, split.y_test)
+        p.run_delta(20.0)
+        np.testing.assert_array_equal(model.get_weights("dense_1"), before)
+
+    def test_sweep_cr_monotonic(self, trained_lenet):
+        model, split = trained_lenet
+        p = CompressionPipeline(model, split.x_test, split.y_test)
+        recs = p.sweep([0.0, 10.0, 20.0])
+        crs = [r.cr for r in recs]
+        assert crs == sorted(crs)
+
+    def test_accuracy_eventually_degrades(self, trained_lenet):
+        """Very large delta wipes out the layer's information."""
+        model, split = trained_lenet
+        p = CompressionPipeline(model, split.x_test, split.y_test)
+        rec = p.run_delta(100.0)
+        assert rec.top1 < p.baseline.top1
+
+    def test_quantized_pipeline_runs(self, trained_lenet):
+        model, split = trained_lenet
+        p = CompressionPipeline(
+            model, split.x_test, split.y_test, quantize_first=True
+        )
+        rec = p.run_delta(5.0)
+        assert rec.cr > 0
+        assert 0.0 <= rec.top1 <= 1.0
+
+
+class TestSensitivity:
+    def test_depth_ordering_shape(self, trained_lenet):
+        """Fig. 9: the input conv is more sensitive than the selected
+        deep FC layer (dense_1), justifying the selection policy."""
+        model, split = trained_lenet
+        res = layer_sensitivity(
+            model,
+            split.x_test[:400],
+            split.y_test[:400],
+            noise_fraction=1.0,
+            trials=4,
+            top_k=1,
+        )
+        by_name = {r.layer: r.accuracy_drop for r in res}
+        assert res[0].layer.startswith("conv2d")
+        assert by_name["conv2d_1"] > by_name["dense_1"]
+        assert by_name["conv2d_2"] > by_name["dense_2"]
+
+    def test_invalid_mode(self, trained_lenet):
+        model, split = trained_lenet
+        with pytest.raises(ValueError, match="mode"):
+            layer_sensitivity(
+                model, split.x_test[:10], split.y_test[:10], mode="nope"
+            )
+
+    def test_normalization(self, trained_lenet):
+        model, split = trained_lenet
+        res = layer_sensitivity(
+            model, split.x_test[:100], split.y_test[:100], trials=1
+        )
+        norm = normalized_sensitivity(res)
+        values = [v for _, v in norm]
+        assert max(values) == pytest.approx(1.0) or all(v == 0.0 for v in values)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_weights_restored(self, trained_lenet):
+        model, split = trained_lenet
+        before = {
+            n: layer.params()[0].data.copy()
+            for n, layer in model.parametric_layers()
+        }
+        layer_sensitivity(model, split.x_test[:50], split.y_test[:50], trials=1)
+        for n, layer in model.parametric_layers():
+            np.testing.assert_array_equal(layer.params()[0].data, before[n])
+
+    def test_trials_validation(self, trained_lenet):
+        model, split = trained_lenet
+        with pytest.raises(ValueError):
+            layer_sensitivity(model, split.x_test, split.y_test, trials=0)

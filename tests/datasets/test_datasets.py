@@ -1,0 +1,131 @@
+"""Synthetic datasets: determinism, label balance, learnability signals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SynthImageConfig,
+    batches,
+    dataset_for_input,
+    make_digits,
+    make_synth_images,
+    render_digit,
+    train_test,
+)
+
+
+class TestDigits:
+    def test_shapes_and_range(self):
+        x, y = make_digits(20, seed=0)
+        assert x.shape == (20, 1, 28, 28)
+        assert x.dtype == np.float32
+        assert x.min() >= 0.0 and x.max() <= 1.0
+        assert y.shape == (20,)
+
+    def test_deterministic(self):
+        x1, y1 = make_digits(10, seed=5)
+        x2, y2 = make_digits(10, seed=5)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_seed_changes_samples(self):
+        x1, _ = make_digits(10, seed=0)
+        x2, _ = make_digits(10, seed=1)
+        assert not np.array_equal(x1, x2)
+
+    def test_label_balance(self):
+        _, y = make_digits(1000, seed=0)
+        counts = np.bincount(y, minlength=10)
+        assert counts.min() >= 90
+
+    def test_channels_replicated(self):
+        x, _ = make_digits(4, seed=0, channels=3)
+        assert x.shape[1] == 3
+        np.testing.assert_array_equal(x[:, 0], x[:, 1])
+
+    def test_invalid_digit(self, rng):
+        with pytest.raises(ValueError):
+            render_digit(10, rng)
+
+    def test_classes_are_distinguishable(self):
+        """Mean images of different digits differ substantially."""
+        means = {}
+        for d in range(10):
+            rng = np.random.default_rng(99)
+            imgs = [render_digit(d, rng) for _ in range(20)]
+            means[d] = np.mean(imgs, axis=0)
+        d01 = np.abs(means[0] - means[1]).mean()
+        assert d01 > 0.05
+
+
+class TestSynthImages:
+    def test_shapes(self):
+        x, y = make_synth_images(12, SynthImageConfig(num_classes=4, size=16))
+        assert x.shape == (12, 3, 16, 16)
+        assert int(y.max()) <= 3
+
+    def test_deterministic(self):
+        cfg = SynthImageConfig(size=16)
+        x1, _ = make_synth_images(6, cfg, seed=3)
+        x2, _ = make_synth_images(6, cfg, seed=3)
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_within_class_more_similar_than_between(self):
+        cfg = SynthImageConfig(size=16, noise=0.2)
+        x, y = make_synth_images(200, cfg, seed=0)
+        a = x[y == 0]
+        b = x[y == 1]
+        within = np.mean([np.abs(a[i] - a[j]).mean() for i in range(5) for j in range(5, 10)])
+        between = np.mean([np.abs(a[i] - b[j]).mean() for i in range(5) for j in range(5)])
+        assert between > within
+
+
+class TestLoaders:
+    def test_split_shapes(self):
+        s = train_test("digits", 50, 20, seed=0)
+        assert len(s.x_train) == 50 and len(s.x_test) == 20
+        assert s.num_classes == 10
+
+    def test_train_and_test_disjoint_noise(self):
+        s = train_test("digits", 10, 10, seed=0)
+        assert not np.array_equal(s.x_train, s.x_test)
+
+    def test_synth_split_shares_classes(self):
+        """A nearest-prototype classifier fit on train transfers to test."""
+        cfg = SynthImageConfig(size=16, noise=0.15)
+        s = train_test("synth", 300, 100, seed=2, config=cfg)
+        protos = np.stack(
+            [s.x_train[s.y_train == c].mean(axis=0) for c in range(cfg.num_classes)]
+        )
+        dists = np.array(
+            [[np.abs(img - p).mean() for p in protos] for img in s.x_test]
+        )
+        acc = (dists.argmin(axis=1) == s.y_test).mean()
+        assert acc > 0.5  # far above the 0.1 chance level
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            train_test("nope", 1, 1)
+
+    def test_batches_cover_everything(self):
+        x = np.arange(10)[:, None]
+        y = np.arange(10)
+        got = np.concatenate([by for _, by in batches(x, y, 3)])
+        np.testing.assert_array_equal(np.sort(got), y)
+
+    def test_batches_shuffled(self):
+        x = np.arange(100)[:, None]
+        y = np.arange(100)
+        got = np.concatenate([by for _, by in batches(x, y, 10, seed=1)])
+        assert not np.array_equal(got, y)
+        np.testing.assert_array_equal(np.sort(got), y)
+
+    def test_dataset_for_input_grayscale(self):
+        s = dataset_for_input((1, 28, 28), 10, 5)
+        assert s.x_train.shape[1:] == (1, 28, 28)
+
+    def test_dataset_for_input_rgb(self):
+        s = dataset_for_input((3, 32, 32), 10, 5)
+        assert s.x_train.shape[1:] == (3, 32, 32)

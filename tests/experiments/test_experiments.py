@@ -1,0 +1,166 @@
+"""Experiment harness: the cheap artifacts run end to end in test time.
+
+The heavy artifacts (Tab. II full sweep, Fig. 10, Tab. III) are
+exercised by the benchmark harness; here we cover the harness machinery
+and the fast paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    fig2_breakdown,
+    fig3_entropy,
+    table1_layers,
+    table2_compression,
+)
+from repro.experiments.common import proxy_dataset, trained_proxy
+from repro.nn import zoo
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig2", "fig3", "tab1", "tab2", "fig9", "fig10", "tab3",
+        }
+
+    def test_every_experiment_has_run_and_render(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert callable(module.run) and callable(module.render)
+
+
+class TestTable1:
+    def test_rows_cover_all_models(self):
+        rows = table1_layers.run()
+        assert [r.model for r in rows] == [m.NAME for m in zoo.ALL_MODELS]
+
+    def test_render_contains_paper_columns(self):
+        text = table1_layers.render(table1_layers.run())
+        assert "dense_1" in text and "conv_preds" in text and "(paper)" in text
+
+
+class TestFig3:
+    def test_ordering(self):
+        result = fig3_entropy.run(fast=True)
+        assert result["random"] > result["LeNet-5"] > result["text"]
+
+    def test_render(self):
+        text = fig3_entropy.render(fig3_entropy.run(fast=True))
+        assert "bits/byte" in text
+
+
+class TestFig2:
+    def test_fast_mode_runs_txn(self):
+        result = fig2_breakdown.run(fast=True)
+        assert len(result.layers) == 7
+        text = fig2_breakdown.render(result)
+        assert "Fig. 2a" in text and "Fig. 2b" in text
+
+
+class TestTable2Fast:
+    def test_lenet_sweep_matches_paper_band(self):
+        sweep = table2_compression.sweep_model(zoo.lenet5, fast=True)
+        crs = {r.delta_pct: r.cr for r in sweep.reports}
+        paper = table2_compression.PAPER["LeNet-5"]
+        for delta, cr in crs.items():
+            assert cr == pytest.approx(paper[delta][0], rel=0.30)
+
+    def test_sliced_evaluation_keeps_whole_model_accounting(self):
+        sweep = table2_compression.sweep_model(zoo.resnet50, fast=True)
+        for r in sweep.reports:
+            assert r.weighted_cr < r.cr
+            assert 0 <= r.mem_fp_reduction < 0.15  # fc1000 is only 8%
+
+
+class TestCommonInfra:
+    def test_dataset_shapes(self):
+        split = proxy_dataset("VGG-16", fast=True)
+        assert split.x_train.shape[1:] == (3, 32, 32)
+        assert split.num_classes == 50
+
+    def test_lenet_dataset_is_digits(self):
+        split = proxy_dataset("LeNet-5", fast=True)
+        assert split.x_train.shape[1:] == (1, 28, 28)
+        assert split.num_classes == 10
+
+    def test_trained_proxy_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        m1, _ = trained_proxy(zoo.lenet5, seed=3, fast=True)
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        m2, _ = trained_proxy(zoo.lenet5, seed=3, fast=True)
+        np.testing.assert_array_equal(
+            m1.get_weights("dense_1"), m2.get_weights("dense_1")
+        )
+
+    def test_trained_proxy_accuracy_floor(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        model, split = trained_proxy(zoo.lenet5, seed=3, fast=True)
+        from repro.nn.train import evaluate
+
+        assert evaluate(model, split.x_test, split.y_test).top1 > 0.8
+
+
+class TestCLI:
+    def test_cli_runs_tab1(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "tab1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Tab. I" in result.stdout
+
+    def test_cli_rejects_unknown(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "nope"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 2
+        assert "unknown experiments" in result.stdout
+
+
+class TestFig10Rendering:
+    def _fake_results(self):
+        from repro.experiments.fig10_tradeoff import ModelTradeoff, TradeoffPoint
+
+        points = [
+            TradeoffPoint(
+                delta_pct=d,
+                accuracy=1.0 - d / 100,
+                norm_latency=1.0 - d / 40,
+                norm_energy=1.0 - d / 30,
+                latency_parts={"memory": 0.5, "communication": 0.2, "computation": 0.1},
+                energy_parts={"main_mem (dyn)": 0.6},
+            )
+            for d in (0.0, 10.0)
+        ]
+        return [
+            ModelTradeoff(
+                model="Toy", layer="dense_1", baseline_accuracy=1.0, points=points
+            )
+        ]
+
+    def test_summary_table(self):
+        from repro.experiments import fig10_tradeoff
+
+        text = fig10_tradeoff.render(self._fake_results())
+        assert "Toy" in text and "x-10" in text and "pareto" in text
+
+    def test_detail_bars(self):
+        from repro.experiments import fig10_tradeoff
+
+        text = fig10_tradeoff.render_detail(self._fake_results())
+        assert "latency breakdown" in text and "energy breakdown" in text

@@ -1,0 +1,129 @@
+"""Layer-to-PE tiling: partition choice and the 8 KB constraint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping.tiling import plan_layer
+from repro.nn.arch import ArchBuilder
+
+
+def _fc_layer(in_f=400, out_f=120):
+    b = ArchBuilder("t", (1, 1, 1))
+    b.set_shape((in_f,))
+    b.fc("fc", out_f)
+    return b.build().layer("fc")
+
+
+def _conv_layer(c_in=3, c_out=64, hw=224):
+    b = ArchBuilder("t", (c_in, hw, hw))
+    b.conv("conv", c_out, 3, pad=1)
+    return b.build().layer("conv")
+
+
+class TestPartitionChoice:
+    def test_fc_uses_channel_split(self):
+        plan = plan_layer(_fc_layer())
+        assert plan.partition == "channel"
+
+    def test_big_ifmap_small_weights_uses_spatial(self):
+        # 224x224 conv: ifmap 602 KB vs weights 6.9 KB -> replicate weights
+        plan = plan_layer(_conv_layer())
+        assert plan.partition == "spatial"
+
+    def test_big_weights_small_ifmap_uses_channel(self):
+        # 1x1 conv on a tiny map with many channels
+        b = ArchBuilder("t", (512, 4, 4))
+        b.conv("conv", 2048, 1)
+        plan = plan_layer(b.build().layer("conv"))
+        assert plan.partition == "channel"
+
+    def test_partition_minimizes_fetch_volume(self):
+        layer = _conv_layer()
+        plan = plan_layer(layer)
+        w = layer.weight_params * 4
+        i = layer.in_activations * 4
+        chosen = plan.total_read_bytes
+        alternative = w + 12 * i if plan.partition == "spatial" else 12 * w + i
+        assert chosen <= alternative * plan.refetch_factor + 1
+
+
+class TestVolumes:
+    def test_channel_split_weight_conservation(self):
+        """Per-PE weight fetches sum back to the full tensor (rounded up)."""
+        layer = _fc_layer(1000, 1200)
+        plan = plan_layer(layer, num_pes=12)
+        assert plan.pe.weight_fetch_bytes * 12 >= layer.weight_params * 4
+        assert plan.pe.weight_fetch_bytes * 12 < layer.weight_params * 4 + 12 * 4
+
+    def test_macs_conserved(self):
+        layer = _fc_layer()
+        plan = plan_layer(layer, num_pes=12)
+        assert plan.total_macs >= layer.macs
+
+    def test_ofmap_write_volume(self):
+        layer = _fc_layer(100, 240)
+        plan = plan_layer(layer, num_pes=12)
+        assert plan.total_write_bytes == pytest.approx(240 * 4, abs=48)
+
+    def test_pool_layer_moves_activations_only(self):
+        b = ArchBuilder("t", (16, 8, 8))
+        b.pool("p", 2)
+        plan = plan_layer(b.build().layer("p"))
+        assert plan.pe.weight_fetch_bytes == 0
+        assert plan.pe.ifmap_fetch_bytes > 0
+        assert plan.pe.ofmap_bytes > 0
+
+
+class TestRefetchModels:
+    def test_paper_model_is_single_pass(self):
+        layer = _conv_layer(c_in=64, c_out=64, hw=224)
+        plan = plan_layer(layer, local_mem_bytes=8 * 1024)  # default "paper"
+        assert plan.refetch_factor == 1
+
+    def test_small_layer_single_band(self):
+        plan = plan_layer(
+            _fc_layer(100, 100), local_mem_bytes=8 * 1024, refetch_model="banded"
+        )
+        assert plan.refetch_factor == 1
+
+    def test_fc_never_refetches(self):
+        # FC weights are single-use: stream input tiles against a
+        # resident output slice — one pass even under "banded"
+        plan = plan_layer(
+            _fc_layer(25088, 4096), local_mem_bytes=8 * 1024, refetch_model="banded"
+        )
+        assert plan.refetch_factor == 1
+
+    def test_huge_conv_operands_force_bands(self):
+        layer = _conv_layer(c_in=64, c_out=64, hw=224)
+        plan = plan_layer(layer, local_mem_bytes=8 * 1024, refetch_model="banded")
+        assert plan.refetch_factor > 1
+
+    def test_more_local_memory_fewer_bands(self):
+        layer = _conv_layer(c_in=64, c_out=64, hw=224)
+        small = plan_layer(layer, local_mem_bytes=8 * 1024, refetch_model="banded")
+        big = plan_layer(layer, local_mem_bytes=256 * 1024, refetch_model="banded")
+        assert big.refetch_factor <= small.refetch_factor
+
+    def test_refetch_inflates_stream_traffic(self):
+        layer = _conv_layer(c_in=64, c_out=64, hw=224)
+        small = plan_layer(layer, local_mem_bytes=8 * 1024, refetch_model="banded")
+        big = plan_layer(layer, local_mem_bytes=1024 * 1024, refetch_model="banded")
+        assert small.total_read_bytes > big.total_read_bytes
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="refetch_model"):
+            plan_layer(_fc_layer(), refetch_model="magic")
+
+    def test_int8_words_shrink_weight_traffic(self):
+        layer = _fc_layer(1000, 1000)
+        f32 = plan_layer(layer, weight_bytes_per_word=4)
+        i8 = plan_layer(layer, weight_bytes_per_word=1)
+        assert i8.pe.weight_fetch_bytes * 4 == pytest.approx(
+            f32.pe.weight_fetch_bytes, rel=0.01
+        )
+
+    def test_num_pes_validation(self):
+        with pytest.raises(ValueError):
+            plan_layer(_fc_layer(), num_pes=0)

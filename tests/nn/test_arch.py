@@ -1,0 +1,125 @@
+"""ArchSpec / ArchBuilder: shape propagation, counts, materialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.arch import ArchBuilder, LayerKind
+
+
+class TestBuilder:
+    def test_conv_shape_and_params(self):
+        b = ArchBuilder("t", (3, 32, 32))
+        b.conv("c1", 16, 3, stride=2, pad=1)
+        spec = b.build()
+        l = spec.layer("c1")
+        assert l.out_shape == (16, 16, 16)
+        assert l.weight_params == 16 * 3 * 9
+        assert l.params == 16 * 3 * 9 + 16
+        assert l.macs == 16 * 16 * 16 * 3 * 9
+
+    def test_grouped_conv(self):
+        b = ArchBuilder("t", (4, 8, 8))
+        b.conv("g", 8, 3, pad=1, groups=2, bias=False)
+        l = b.build().layer("g")
+        assert l.weight_params == 8 * 2 * 9
+        assert l.macs == 8 * 8 * 8 * 2 * 9
+
+    def test_grouped_conv_validation(self):
+        b = ArchBuilder("t", (3, 8, 8))
+        with pytest.raises(ValueError):
+            b.conv("g", 8, 3, groups=2)
+
+    def test_rect_kernel(self):
+        b = ArchBuilder("t", (4, 17, 17))
+        b.conv("r", 8, (1, 7), pad=(0, 3), bias=False)
+        l = b.build().layer("r")
+        assert l.out_shape == (8, 17, 17)
+        assert l.weight_params == 8 * 4 * 7
+
+    def test_dwconv(self):
+        b = ArchBuilder("t", (8, 10, 10))
+        b.dwconv("dw", 3, stride=2, pad=1)
+        l = b.build().layer("dw")
+        assert l.out_shape == (8, 5, 5)
+        assert l.weight_params == 8 * 9
+        assert l.kind == LayerKind.DWCONV
+
+    def test_fc_requires_flatten(self):
+        b = ArchBuilder("t", (3, 4, 4))
+        with pytest.raises(ValueError):
+            b.fc("d", 10)
+
+    def test_flatten_then_fc(self):
+        b = ArchBuilder("t", (3, 4, 4))
+        b.flatten().fc("d", 10)
+        l = b.build().layer("d")
+        assert l.weight_params == 48 * 10
+
+    def test_pool_with_padding(self):
+        b = ArchBuilder("t", (3, 56, 56))
+        b.pool("p", 3, 2, pad=1)
+        assert b.shape == (3, 28, 28)
+
+    def test_depth_indices_count_parametric_only(self):
+        b = ArchBuilder("t", (1, 8, 8))
+        b.conv("c1", 2, 3, pad=1).pool("p", 2).conv("c2", 4, 3, pad=1)
+        spec = b.build()
+        assert spec.layer("c1").depth == 0
+        assert spec.layer("p").depth == -1
+        assert spec.layer("c2").depth == 1
+
+
+class TestArchSpec:
+    def _spec(self):
+        b = ArchBuilder("t", (1, 8, 8))
+        b.conv("c1", 2, 3, pad=1).flatten().fc("d1", 5)
+        return b.build()
+
+    def test_totals(self):
+        spec = self._spec()
+        assert spec.total_params == sum(l.params for l in spec.layers)
+        assert spec.total_macs == sum(l.macs for l in spec.layers)
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            self._spec().layer("nope")
+
+    def test_materialize_deterministic(self):
+        spec = self._spec()
+        w1 = spec.materialize("d1", seed=3)
+        w2 = spec.materialize("d1", seed=3)
+        np.testing.assert_array_equal(w1, w2)
+        assert w1.shape == (128, 5)
+
+    def test_materialize_seed_sensitivity(self):
+        spec = self._spec()
+        assert not np.array_equal(
+            spec.materialize("d1", seed=0), spec.materialize("d1", seed=1)
+        )
+
+    def test_materialize_layer_independence(self):
+        """Different layers never share a weight stream."""
+        spec = self._spec()
+        a = spec.materialize("c1", seed=0).ravel()
+        b = spec.materialize("d1", seed=0).ravel()[: a.size]
+        assert not np.array_equal(a, b)
+
+    def test_materialize_nonparametric_rejected(self):
+        b = ArchBuilder("t", (1, 8, 8))
+        b.conv("c", 2, 3).pool("p", 2)
+        with pytest.raises(ValueError):
+            b.build().materialize("p")
+
+    def test_trained_like_statistics(self):
+        """Sampled weights are zero-mean with Glorot-scale std and
+        heavier-than-Gaussian tails (trained-net shape)."""
+        b = ArchBuilder("t", (1, 1, 1))
+        b.set_shape((4096,))
+        b.fc("big", 4096, bias=False)
+        w = b.build().materialize("big").ravel()
+        assert abs(w.mean()) < 1e-3
+        assert 0.005 < w.std() < 0.05
+        kurt = ((w - w.mean()) ** 4).mean() / w.var() ** 2 - 3
+        assert kurt > 0.5

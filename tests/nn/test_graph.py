@@ -1,0 +1,197 @@
+"""Model DAG container: construction, execution, weight access."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import Model
+from repro.nn.layers import Add, Concat, Conv2D, Dense, Flatten, ReLU, Softmax
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.sequential import Sequential
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self, rng):
+        m = Model()
+        m.add(Dense(4, 4, rng=rng), name="d")
+        with pytest.raises(ValueError, match="duplicate"):
+            m.add(Dense(4, 4, rng=rng), name="d")
+
+    def test_unknown_input_rejected(self, rng):
+        m = Model()
+        with pytest.raises(ValueError, match="unknown input"):
+            m.add(Dense(4, 4, rng=rng), inputs="nope")
+
+    def test_merge_needs_multiple_inputs(self, rng):
+        m = Model()
+        a = m.add(Dense(4, 4, rng=rng), name="a")
+        with pytest.raises(ValueError, match=">= 2"):
+            m.add(Add(), inputs=[a], name="bad")
+
+    def test_plain_layer_single_input(self, rng):
+        m = Model()
+        a = m.add(Dense(4, 4, rng=rng), name="a")
+        b = m.add(Dense(4, 4, rng=rng), name="b")
+        with pytest.raises(ValueError, match="one input"):
+            m.add(Dense(4, 4, rng=rng), inputs=[a, b], name="bad")
+
+    def test_contains_and_getitem(self, rng):
+        m = Sequential([("d", Dense(3, 2, rng=rng))])
+        assert "d" in m and isinstance(m["d"], Dense)
+
+    def test_auto_names_unique(self, rng):
+        m = Sequential([Dense(3, 3, rng=rng), ReLU(), Dense(3, 3, rng=rng)])
+        assert len(set(m.node_names)) == 3
+
+
+class TestExecution:
+    def test_sequential_matches_manual(self, rng):
+        d1 = Dense(5, 4, rng=rng)
+        d2 = Dense(4, 3, rng=rng)
+        m = Sequential([("d1", d1), ("r", ReLU()), ("d2", d2)])
+        x = rng.normal(size=(2, 5)).astype(np.float32)
+        expected = d2.forward(np.maximum(d1.forward(x), 0))
+        np.testing.assert_allclose(m.forward(x), expected, rtol=1e-6)
+
+    def test_residual_add(self, rng):
+        m = Model()
+        a = m.add(Dense(4, 4, rng=rng), name="branch")
+        m.add(Add(), inputs=[a, "input"], name="join")
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            m.forward(x), m["branch"].forward(x) + x, rtol=1e-6
+        )
+
+    def test_fanout_gradient_accumulates(self, rng):
+        """x feeds two branches; d(input) must be the sum of both paths."""
+        m = Model()
+        b1 = m.add(Dense(3, 3, rng=rng), inputs="input", name="b1")
+        b2 = m.add(Dense(3, 3, rng=rng), inputs="input", name="b2")
+        m.add(Add(), inputs=[b1, b2], name="join")
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        m.forward(x, training=True)
+        g = np.ones((2, 3), dtype=np.float32)
+        dx = m.backward(g)
+        expected = g @ m["b1"].weight.data.T + g @ m["b2"].weight.data.T
+        np.testing.assert_allclose(dx, expected, rtol=1e-5)
+
+    def test_concat_branches(self, rng):
+        m = Model()
+        c1 = m.add(Conv2D(1, 2, 3, padding=1, rng=rng), inputs="input", name="c1")
+        c2 = m.add(Conv2D(1, 3, 3, padding=1, rng=rng), inputs="input", name="c2")
+        m.add(Concat(), inputs=[c1, c2], name="cat")
+        y = m.forward(rng.normal(size=(2, 1, 5, 5)).astype(np.float32))
+        assert y.shape == (2, 5, 5, 5)
+
+    def test_softmax_skipped_in_training(self, rng):
+        m = Sequential([("d", Dense(4, 3, rng=rng)), ("sm", Softmax())])
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        logits = m.forward(x, training=True)
+        probs = m.forward(x, training=False)
+        assert not np.allclose(logits, probs)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_predict_batching_consistent(self, rng):
+        m = Sequential([("d", Dense(6, 3, rng=rng))])
+        x = rng.normal(size=(25, 6)).astype(np.float32)
+        np.testing.assert_allclose(m.predict(x, batch_size=4), m.forward(x), rtol=1e-6)
+
+    def test_end_to_end_gradient(self, rng):
+        """Loss decreases after one SGD step on a tiny model."""
+        from repro.nn.optim import SGD
+
+        m = Sequential(
+            [
+                ("c", Conv2D(1, 2, 3, padding=1, rng=rng)),
+                ("r", ReLU()),
+                ("f", Flatten()),
+                ("d", Dense(2 * 4 * 4, 3, rng=rng)),
+            ]
+        )
+        x = rng.normal(size=(8, 1, 4, 4)).astype(np.float32)
+        y = rng.integers(0, 3, size=8)
+        loss_fn = SoftmaxCrossEntropy()
+        opt = SGD(m.params(), lr=0.5, momentum=0.0)
+        losses = []
+        for _ in range(5):
+            opt.zero_grad()
+            loss = loss_fn.forward(m.forward(x, training=True), y)
+            m.backward(loss_fn.backward())
+            opt.step()
+            losses.append(loss)
+        assert losses[-1] < losses[0]
+
+
+class TestWeightAccess:
+    def test_get_set_roundtrip(self, rng):
+        m = Sequential([("d", Dense(4, 3, rng=rng))])
+        w = m.get_weights("d")
+        m.set_weights("d", np.zeros_like(w))
+        assert (m.get_weights("d") == 0).all()
+
+    def test_set_shape_mismatch(self, rng):
+        m = Sequential([("d", Dense(4, 3, rng=rng))])
+        with pytest.raises(ValueError, match="shape mismatch"):
+            m.set_weights("d", np.zeros((3, 3)))
+
+    def test_nonparametric_layer(self):
+        m = Sequential([("r", ReLU())])
+        with pytest.raises(ValueError, match="no parameters"):
+            m.get_weights("r")
+
+    def test_parametric_layers_ordered(self, rng):
+        m = Sequential(
+            [("c", Conv2D(1, 2, 3, rng=rng)), ("r", ReLU()), ("f", Flatten()),
+             ("d", Dense(2 * 2 * 2, 3, rng=rng))]
+        )
+        names = [n for n, _ in m.parametric_layers()]
+        assert names == ["c", "d"]
+
+    def test_num_params(self, rng):
+        m = Sequential([("d", Dense(4, 3, rng=rng))])
+        assert m.num_params == 4 * 3 + 3
+
+    def test_summary_mentions_layers(self, rng):
+        m = Sequential([("d", Dense(4, 3, rng=rng))])
+        assert "Dense" in m.summary() and "d" in m.summary()
+
+
+class TestStateDict:
+    def _bn_model(self, rng):
+        from repro.nn.layers import BatchNorm2D, Conv2D, Flatten, Dense
+
+        return Sequential(
+            [
+                ("c", Conv2D(1, 2, 3, padding=1, bias=False, rng=rng)),
+                ("bn", BatchNorm2D(2)),
+                ("f", Flatten()),
+                ("d", Dense(2 * 4 * 4, 3, rng=rng)),
+            ]
+        )
+
+    def test_roundtrip_includes_bn_buffers(self, rng):
+        m = self._bn_model(rng)
+        x = rng.normal(loc=3.0, size=(16, 1, 4, 4)).astype(np.float32)
+        m.forward(x, training=True)  # moves the running stats
+        state = {k: v.copy() for k, v in m.state_dict().items()}
+        assert "bn.buffer.running_mean" in state
+
+        m2 = self._bn_model(np.random.default_rng(99))
+        m2.load_state_dict(state)
+        np.testing.assert_array_equal(m2["bn"].running_mean, m["bn"].running_mean)
+        np.testing.assert_allclose(m2.forward(x), m.forward(x), rtol=1e-6)
+
+    def test_missing_key_rejected(self, rng):
+        m = self._bn_model(rng)
+        state = m.state_dict()
+        state.pop("bn.buffer.running_var")
+        with pytest.raises(ValueError, match="state dict mismatch"):
+            m.load_state_dict(state)
+
+    def test_wrong_shape_rejected(self, rng):
+        m = self._bn_model(rng)
+        state = dict(m.state_dict())
+        state["d.param0"] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            m.load_state_dict(state)

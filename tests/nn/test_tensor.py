@@ -1,0 +1,81 @@
+"""im2col/col2im correctness against naive implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import col2im, conv_out_size, im2col, pad_nchw
+
+
+class TestConvOutSize:
+    @pytest.mark.parametrize(
+        "size,k,s,p,expected",
+        [(28, 5, 1, 2, 28), (28, 5, 1, 0, 24), (224, 3, 2, 1, 112), (7, 7, 1, 0, 1)],
+    )
+    def test_known_shapes(self, size, k, s, p, expected):
+        assert conv_out_size(size, k, s, p) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestPad:
+    def test_noop(self, rng):
+        x = rng.normal(size=(1, 1, 3, 3))
+        assert pad_nchw(x, 0, 0) is x
+
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 4, 5))
+        assert pad_nchw(x, 1, 2).shape == (2, 3, 6, 9)
+
+
+def _naive_conv(x, w, stride, pad):
+    n, c, h, ww = x.shape
+    o, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (ww + 2 * pad - kw) // stride + 1
+    out = np.zeros((n, o, oh, ow))
+    for b in range(n):
+        for f in range(o):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[b, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[b, f, i, j] = (patch * w[f]).sum()
+    return out
+
+
+class TestIm2Col:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_gemm_equals_naive_conv(self, rng, stride, pad):
+        x = rng.normal(size=(2, 3, 7, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        cols, oh, ow = im2col(x, 3, 3, stride, pad)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, oh, ow, 4).transpose(0, 3, 1, 2)
+        np.testing.assert_allclose(out, _naive_conv(x, w, stride, pad), atol=1e-12)
+
+    def test_identity_kernel(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        cols, oh, ow = im2col(x, 1, 1, 1, 0)
+        np.testing.assert_array_equal(cols.reshape(5, 5), x[0, 0])
+
+
+class TestCol2Im:
+    def test_adjoint_property(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — col2im is the exact adjoint."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, oh, ow = im2col(x, 3, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * col2im(y, x.shape, 3, 3, 2, 1)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_counts_overlaps(self):
+        x_shape = (1, 1, 4, 4)
+        cols, oh, ow = im2col(np.ones(x_shape), 3, 3, 1, 0)
+        back = col2im(np.ones_like(cols), x_shape, 3, 3, 1, 0)
+        # center pixels belong to 4 windows, corners to 1
+        assert back[0, 0, 0, 0] == 1
+        assert back[0, 0, 1, 1] == 4

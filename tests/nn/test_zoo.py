@@ -1,0 +1,86 @@
+"""Model zoo: Tab. I parameter counts, proxies forward & train."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import TrainConfig, train, zoo
+from repro.nn.arch import LayerKind
+
+#: paper Tab. I: (total params x1000, selected layer, type, fraction)
+_TABLE1 = {
+    "LeNet-5": (62, "dense_1", LayerKind.FC, 0.80),
+    "AlexNet": (24_000, "dense_2", LayerKind.FC, 0.70),
+    "VGG-16": (138_000, "dense_1", LayerKind.FC, 0.77),
+    "MobileNet": (4_250, "conv_preds", LayerKind.CONV, 0.19),
+    "Inception-v3": (23_850, "pred", LayerKind.FC, 0.09),
+    "ResNet50": (25_640, "fc1000", LayerKind.FC, 0.08),
+}
+
+
+class TestFullSpecs:
+    @pytest.mark.parametrize("module", zoo.ALL_MODELS, ids=lambda m: m.NAME)
+    def test_total_params_match_table1(self, module):
+        expected_k, _, _, _ = _TABLE1[module.NAME]
+        total_k = module.full().total_params / 1000
+        assert total_k == pytest.approx(expected_k, rel=0.05)
+
+    @pytest.mark.parametrize("module", zoo.ALL_MODELS, ids=lambda m: m.NAME)
+    def test_selected_layer_kind(self, module):
+        _, name, kind, _ = _TABLE1[module.NAME]
+        spec = module.full()
+        assert spec.layer(name).kind == kind
+
+    @pytest.mark.parametrize("module", zoo.ALL_MODELS, ids=lambda m: m.NAME)
+    def test_selected_layer_fraction(self, module):
+        _, name, _, frac = _TABLE1[module.NAME]
+        spec = module.full()
+        got = spec.layer(name).params / spec.total_params
+        assert got == pytest.approx(frac, abs=0.06)
+
+    def test_macs_magnitudes(self):
+        """Cross-check MACs against published per-inference counts."""
+        assert zoo.vgg16.full().total_macs == pytest.approx(15.5e9, rel=0.05)
+        assert zoo.resnet50.full().total_macs == pytest.approx(3.9e9, rel=0.05)
+        assert zoo.mobilenet.full().total_macs == pytest.approx(569e6, rel=0.05)
+        assert zoo.inception_v3.full().total_macs == pytest.approx(5.7e9, rel=0.05)
+
+    @pytest.mark.parametrize("module", zoo.ALL_MODELS, ids=lambda m: m.NAME)
+    def test_depths_strictly_increasing(self, module):
+        depths = [l.depth for l in module.full().parametric_layers()]
+        assert depths == sorted(depths)
+        assert depths[0] == 0
+
+    def test_by_name_registry(self):
+        assert zoo.BY_NAME["VGG-16"] is zoo.vgg16
+        assert len(zoo.ALL_MODELS) == 6
+
+
+class TestProxies:
+    @pytest.mark.parametrize("module", zoo.ALL_MODELS, ids=lambda m: m.NAME)
+    def test_forward_shape(self, module):
+        rng = np.random.default_rng(0)
+        m = module.proxy(rng)
+        in_shape = (1, 28, 28) if module.NAME == "LeNet-5" else (3, 32, 32)
+        x = rng.normal(size=(2, *in_shape)).astype(np.float32)
+        y = m.forward(x)
+        assert y.shape[0] == 2
+        np.testing.assert_allclose(y.sum(axis=1), 1.0, rtol=1e-5)
+
+    @pytest.mark.parametrize("module", zoo.ALL_MODELS, ids=lambda m: m.NAME)
+    def test_selected_layer_exists_in_proxy(self, module):
+        m = module.proxy(np.random.default_rng(0))
+        assert module.SELECTED_LAYER in m
+
+    @pytest.mark.parametrize(
+        "module", [zoo.resnet50, zoo.inception_v3], ids=lambda m: m.NAME
+    )
+    def test_branchy_proxies_train_one_epoch(self, module):
+        """DAG proxies (Add / Concat) must backprop without error."""
+        rng = np.random.default_rng(1)
+        m = module.proxy(rng)
+        x = rng.normal(size=(32, 3, 32, 32)).astype(np.float32)
+        y = rng.integers(0, 10, size=32)
+        losses = train(m, x, y, TrainConfig(epochs=2, batch_size=16, lr=0.05))
+        assert np.isfinite(losses).all()

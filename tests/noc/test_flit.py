@@ -1,0 +1,54 @@
+"""Packets, flits and packetization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.flit import FLIT_BYTES, Flit, FlitType, Packet, TrafficClass, packetize
+
+
+class TestPacket:
+    def test_flit_count_includes_header(self):
+        p = Packet(src=0, dst=5, payload_bytes=64, traffic_class=TrafficClass.WEIGHTS)
+        assert p.num_flits == 1 + 64 // FLIT_BYTES
+
+    def test_partial_flit_rounds_up(self):
+        p = Packet(src=0, dst=5, payload_bytes=9, traffic_class=TrafficClass.IFMAP)
+        assert p.num_flits == 1 + 2
+
+    def test_zero_payload_single_flit(self):
+        p = Packet(src=0, dst=1, payload_bytes=0, traffic_class=TrafficClass.REQUEST)
+        assert p.num_flits == 1
+
+    def test_unique_ids(self):
+        a = Packet(0, 1, 8, TrafficClass.WEIGHTS)
+        b = Packet(0, 1, 8, TrafficClass.WEIGHTS)
+        assert a.pid != b.pid
+
+    def test_latency_requires_delivery(self):
+        p = Packet(0, 1, 8, TrafficClass.WEIGHTS)
+        with pytest.raises(ValueError):
+            _ = p.latency
+        p.injected_cycle, p.delivered_cycle = 10, 25
+        assert p.latency == 15
+
+
+class TestPacketize:
+    def test_single_flit_packet_is_headtail(self):
+        p = Packet(0, 1, 0, TrafficClass.REQUEST)
+        flits = packetize(p)
+        assert len(flits) == 1
+        assert flits[0].ftype is FlitType.HEADTAIL
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_train_structure(self):
+        p = Packet(0, 1, 24, TrafficClass.WEIGHTS)  # 1 + 3 flits
+        flits = packetize(p)
+        assert [f.ftype for f in flits] == [
+            FlitType.HEAD,
+            FlitType.BODY,
+            FlitType.BODY,
+            FlitType.TAIL,
+        ]
+        assert [f.seq for f in flits] == [0, 1, 2, 3]
+        assert all(f.packet is p for f in flits)

@@ -1,0 +1,58 @@
+"""Mesh topology wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.mesh import OPPOSITE, Mesh
+from repro.noc.router import EAST, NORTH, SOUTH, WEST
+
+
+class TestMesh:
+    def test_paper_floorplan(self):
+        mesh = Mesh(4, 4)
+        assert mesh.corner_ids() == [0, 3, 12, 15]
+        assert len(mesh.pe_ids()) == 12
+        assert set(mesh.corner_ids()).isdisjoint(mesh.pe_ids())
+
+    def test_neighbors_reciprocal(self):
+        mesh = Mesh(4, 4)
+        for node in range(16):
+            for port in (NORTH, SOUTH, EAST, WEST):
+                nb = mesh.neighbor(node, port)
+                if nb is not None:
+                    assert mesh.neighbor(nb, OPPOSITE[port]) == node
+
+    def test_edges_have_no_neighbor(self):
+        mesh = Mesh(4, 4)
+        assert mesh.neighbor(0, NORTH) is None
+        assert mesh.neighbor(0, WEST) is None
+        assert mesh.neighbor(15, SOUTH) is None
+        assert mesh.neighbor(15, EAST) is None
+
+    def test_hop_count(self):
+        mesh = Mesh(4, 4)
+        assert mesh.hop_count(0, 15) == 6
+        assert mesh.hop_count(5, 5) == 0
+        assert mesh.hop_count(5, 6) == 1
+
+    def test_nearest_corner(self):
+        mesh = Mesh(4, 4)
+        assert mesh.nearest_corner(1) == 0
+        assert mesh.nearest_corner(2) == 3
+        assert mesh.nearest_corner(13) == 12
+        assert mesh.nearest_corner(11) == 15
+
+    def test_every_pe_within_two_hops_of_its_corner(self):
+        mesh = Mesh(4, 4)
+        for pe in mesh.pe_ids():
+            assert mesh.hop_count(pe, mesh.nearest_corner(pe)) <= 2
+
+    def test_rectangular_mesh(self):
+        mesh = Mesh(6, 2)
+        assert mesh.num_nodes == 12
+        assert mesh.corner_ids() == [0, 5, 6, 11]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(1, 4)

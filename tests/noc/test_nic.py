@@ -1,0 +1,74 @@
+"""Network-interface unit tests: injection queue and reassembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.flit import FlitType, Packet, TrafficClass, packetize
+from repro.noc.nic import NetworkInterface
+
+
+def _pkt(src=0, dst=5, nbytes=24):
+    return Packet(src=src, dst=dst, payload_bytes=nbytes, traffic_class=TrafficClass.WEIGHTS)
+
+
+class TestInjection:
+    def test_enqueue_expands_to_flits(self):
+        nic = NetworkInterface(0)
+        p = _pkt(nbytes=24)  # 1 + 3 flits
+        nic.enqueue(p, cycle=7)
+        assert nic.queued_flits == 4
+        assert p.injected_cycle == 7
+        assert nic.injected_packets == 1
+
+    def test_fifo_order(self):
+        nic = NetworkInterface(0)
+        a, b = _pkt(nbytes=0), _pkt(nbytes=0)
+        nic.enqueue(a, 0)
+        nic.enqueue(b, 0)
+        assert nic.pop_flit().packet is a
+        assert nic.pop_flit().packet is b
+        assert not nic.busy
+
+    def test_src_validation(self):
+        nic = NetworkInterface(3)
+        with pytest.raises(ValueError, match="does not match"):
+            nic.enqueue(_pkt(src=0), 0)
+
+    def test_next_flit_peeks(self):
+        nic = NetworkInterface(0)
+        nic.enqueue(_pkt(nbytes=0), 0)
+        assert nic.next_flit() is nic.next_flit()  # no consumption
+
+
+class TestEjection:
+    def test_packet_delivered_on_tail(self):
+        nic = NetworkInterface(5)
+        p = _pkt(nbytes=16)  # head + 2 payload
+        flits = packetize(p)
+        assert nic.eject(flits[0], 10) is None
+        assert nic.eject(flits[1], 11) is None
+        out = nic.eject(flits[2], 12)
+        assert out is p
+        assert p.delivered_cycle == 12
+        assert nic.delivered_packets == 1
+
+    def test_interleaved_packets_reassemble(self):
+        nic = NetworkInterface(5)
+        p1, p2 = _pkt(nbytes=16), _pkt(nbytes=16)
+        f1, f2 = packetize(p1), packetize(p2)
+        nic.eject(f1[0], 0)
+        nic.eject(f2[0], 0)
+        nic.eject(f2[1], 1)
+        nic.eject(f1[1], 1)
+        assert nic.eject(f1[2], 2) is p1
+        assert nic.eject(f2[2], 3) is p2
+
+    def test_missing_flits_detected(self):
+        nic = NetworkInterface(5)
+        p = _pkt(nbytes=16)
+        flits = packetize(p)
+        nic.eject(flits[0], 0)
+        # tail arrives without the body flit
+        with pytest.raises(RuntimeError, match="expected"):
+            nic.eject(flits[2], 1)

@@ -1,0 +1,161 @@
+"""Memory-interface and PE node models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc import (
+    DramConfig,
+    MemoryInterface,
+    Mesh,
+    NocSimulator,
+    PEConfig,
+    PETask,
+    ProcessingElement,
+    ReadJob,
+    TrafficClass,
+)
+
+
+def _wire(dram=DramConfig(), pe_cfg=PEConfig()):
+    sim = NocSimulator(Mesh(4, 4))
+    mc = MemoryInterface(0, dram)
+    pe = ProcessingElement(5, pe_cfg)
+    sim.attach_node(mc)
+    sim.attach_node(pe)
+    return sim, mc, pe
+
+
+class TestDramConfig:
+    def test_service_cycles(self):
+        cfg = DramConfig(access_latency=30, bandwidth_bytes_per_cycle=8.0)
+        assert cfg.service_cycles(0) == 30
+        assert cfg.service_cycles(8) == 31
+        assert cfg.service_cycles(1024) == 30 + 128
+
+    def test_read_validation(self):
+        mc = MemoryInterface(0)
+        with pytest.raises(ValueError):
+            mc.schedule_read(ReadJob(5, 0, TrafficClass.WEIGHTS))
+
+
+class TestMemoryInterface:
+    def test_read_busy_time(self):
+        sim, mc, pe = _wire()
+        pe.assign(PETask(1024, 0, 0, 0, compute_cycles=1))
+        mc.schedule_read(ReadJob(5, 1024, TrafficClass.WEIGHTS))
+        sim.run()
+        assert mc.busy_cycles == mc.config.service_cycles(1024)
+        assert mc.bytes_read == 1024
+
+    def test_write_accounting(self):
+        sim, mc, pe = _wire()
+        pe.assign(PETask(0, 0, 512, 0, compute_cycles=10))
+        sim.run()
+        assert mc.bytes_written == 512
+
+    def test_reads_serialize_on_channel(self):
+        """Two reads on one channel cost the sum of their service times."""
+        sim = NocSimulator(Mesh(4, 4))
+        mc = MemoryInterface(0)
+        sim.attach_node(mc)
+        for pid in (1, 4):
+            pe = ProcessingElement(pid)
+            pe.assign(PETask(2048, 0, 0, 0, compute_cycles=1))
+            sim.attach_node(pe)
+            mc.schedule_read(ReadJob(pid, 2048, TrafficClass.WEIGHTS))
+        sim.run()
+        assert mc.busy_cycles == 2 * mc.config.service_cycles(2048)
+
+    def test_data_not_released_before_read_completes(self):
+        sim, mc, pe = _wire(DramConfig(access_latency=100))
+        pe.assign(PETask(64, 0, 0, 0, compute_cycles=1))
+        mc.schedule_read(ReadJob(5, 64, TrafficClass.WEIGHTS))
+        stats = sim.run()
+        # service = 100 + 8 cycles before the first flit even injects
+        assert stats.cycles > 100
+
+
+class TestProcessingElement:
+    def test_waits_for_all_inputs(self):
+        sim, mc, pe = _wire()
+        pe.assign(PETask(256, 128, 64, 0, compute_cycles=50, macs=1000))
+        mc.schedule_read(ReadJob(5, 256, TrafficClass.WEIGHTS))
+        mc.schedule_read(ReadJob(5, 128, TrafficClass.IFMAP))
+        sim.run()
+        assert pe.busy_cycles == 50
+        assert pe.macs_done == 1000
+        assert mc.bytes_written == 64
+
+    def test_decompress_bound_datapath(self):
+        task = PETask(64, 0, 0, 0, compute_cycles=10, decompress_cycles=99)
+        assert task.datapath_cycles == 99
+
+    def test_local_memory_accounting(self):
+        sim, mc, pe = _wire()
+        pe.assign(PETask(256, 0, 64, 0, compute_cycles=1))
+        mc.schedule_read(ReadJob(5, 256, TrafficClass.WEIGHTS))
+        sim.run()
+        # 2x per input byte (write + read) + 1x per output byte
+        assert pe.local_mem_bytes_accessed == 2 * 256 + 64
+
+    def test_double_assign_rejected(self):
+        _, _, pe = _wire()
+        pe.assign(PETask(8, 0, 0, 0, compute_cycles=1))
+        with pytest.raises(RuntimeError):
+            pe.assign(PETask(8, 0, 0, 0, compute_cycles=1))
+
+    def test_compute_only_task(self):
+        sim, mc, pe = _wire()
+        pe.assign(PETask(0, 0, 0, 0, compute_cycles=37))
+        sim.run()
+        assert pe.busy_cycles == 37
+
+    def test_output_split_into_packets(self):
+        sim, mc, pe = _wire(pe_cfg=PEConfig(max_packet_bytes=64))
+        pe.assign(PETask(0, 0, 300, 0, compute_cycles=1))
+        stats = sim.run()
+        # ceil(300/64) = 5 packets
+        assert stats.packets_delivered == 5
+
+
+class TestDemandMode:
+    """PE-issued request packets instead of a static MC schedule."""
+
+    def _run_demand(self, dram=DramConfig()):
+        sim = NocSimulator(Mesh(4, 4))
+        mc = MemoryInterface(0, dram)
+        pe = ProcessingElement(5)
+        sim.attach_node(mc)
+        sim.attach_node(pe)
+        pe.assign(
+            PETask(1024, 256, 128, 0, compute_cycles=40, macs=100, request_mc=0)
+        )
+        stats = sim.run()
+        return sim, mc, pe, stats
+
+    def test_inputs_arrive_without_schedule(self):
+        _, mc, pe, _ = self._run_demand()
+        assert pe.busy_cycles == 40
+        assert mc.bytes_read == 1024 + 256
+        assert mc.bytes_written == 128
+
+    def test_request_latency_added(self):
+        """Demand mode pays the request round trip vs static scheduling."""
+        sim_s = NocSimulator(Mesh(4, 4))
+        mc_s = MemoryInterface(0)
+        pe_s = ProcessingElement(5)
+        sim_s.attach_node(mc_s)
+        sim_s.attach_node(pe_s)
+        pe_s.assign(PETask(1024, 256, 128, 0, compute_cycles=40, macs=100))
+        mc_s.schedule_read(ReadJob(5, 1024, TrafficClass.WEIGHTS))
+        mc_s.schedule_read(ReadJob(5, 256, TrafficClass.IFMAP))
+        static_cycles = sim_s.run().cycles
+
+        _, _, _, stats = self._run_demand()
+        assert stats.cycles > static_cycles
+        assert stats.cycles < static_cycles + 60  # just the round trip
+
+    def test_request_traffic_accounted(self):
+        _, _, _, stats = self._run_demand()
+        assert stats.payload_bytes.get("request", 0) == 16  # two 8B requests

@@ -1,0 +1,99 @@
+"""Synthetic traffic patterns and load-latency characterization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noc.mesh import Mesh
+from repro.noc.patterns import (
+    LoadPoint,
+    PatternNode,
+    bit_reversal,
+    characterize,
+    hotspot,
+    transpose,
+    uniform_random,
+)
+
+
+@pytest.fixture
+def prng():
+    return np.random.default_rng(0)
+
+
+class TestPatterns:
+    def test_uniform_never_self(self, prng):
+        for src in range(16):
+            for _ in range(50):
+                assert uniform_random(src, 16, prng) != src
+
+    def test_uniform_covers_all(self, prng):
+        seen = {uniform_random(3, 16, prng) for _ in range(2000)}
+        assert seen == set(range(16)) - {3}
+
+    def test_transpose_mapping(self, prng):
+        # node 1 = (x=1, y=0) -> (x=0, y=1) = node 4 on a 4x4 mesh
+        assert transpose(1, 16, prng) == 4
+        assert transpose(4, 16, prng) == 1
+
+    def test_transpose_diagonal_falls_back(self, prng):
+        assert transpose(5, 16, prng) != 5  # (1,1) maps to itself
+
+    def test_transpose_needs_square(self, prng):
+        with pytest.raises(ValueError):
+            transpose(0, 12, prng)
+
+    def test_bit_reversal(self, prng):
+        # 16 nodes -> 4 bits: 0b0001 -> 0b1000
+        assert bit_reversal(1, 16, prng) == 8
+        assert bit_reversal(8, 16, prng) == 1
+
+    def test_hotspot_bias(self, prng):
+        hits = sum(hotspot(5, 16, prng, spot=0, fraction=0.5) == 0 for _ in range(2000))
+        assert 800 < hits < 1200
+
+
+class TestPatternNode:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PatternNode(0, 16, uniform_random, rate=1.5, duration=10)
+
+    def test_generation_stops_after_duration(self):
+        from repro.noc.simulator import NocSimulator
+
+        sim = NocSimulator(Mesh(4, 4))
+        nodes = [
+            PatternNode(i, 16, uniform_random, rate=0.1, duration=100)
+            for i in range(16)
+        ]
+        for n in nodes:
+            sim.attach_node(n)
+        stats = sim.run(max_cycles=50_000)
+        generated = sum(n.generated for n in nodes)
+        assert stats.packets_delivered == generated
+        assert generated > 0
+
+
+class TestCharacterize:
+    def test_low_load_latency_near_zero_load(self):
+        pts = characterize(uniform_random, [0.01, 0.05], duration=600)
+        assert all(isinstance(p, LoadPoint) for p in pts)
+        # low-load latency ~ hops * pipeline + serialization, well under 60
+        assert pts[0].mean_latency < 60
+
+    def test_latency_grows_with_load(self):
+        pts = characterize(uniform_random, [0.01, 0.12], duration=800)
+        assert pts[1].mean_latency > pts[0].mean_latency
+
+    def test_throughput_tracks_offered_load_below_saturation(self):
+        pts = characterize(uniform_random, [0.02], duration=1500)
+        assert pts[0].throughput == pytest.approx(0.02, rel=0.25)
+
+    def test_hotspot_saturates_earlier_than_uniform(self):
+        rate = 0.08
+        uni = characterize(uniform_random, [rate], duration=800)[0]
+        hot = characterize(
+            lambda s, n, r: hotspot(s, n, r, spot=5, fraction=0.5), [rate], duration=800
+        )[0]
+        assert hot.mean_latency > uni.mean_latency

@@ -1,0 +1,267 @@
+"""End-to-end NoC simulation: delivery, ordering, latency, liveness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import Mesh, NocSimulator, Node, Packet, TrafficClass
+from repro.noc.flit import FLIT_BYTES
+
+
+class Collector(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received: list[Packet] = []
+
+    def on_packet(self, packet, cycle):
+        self.received.append(packet)
+
+
+class Sender(Node):
+    """Injects a fixed list of packets at given cycles."""
+
+    def __init__(self, node_id, sendlist):
+        super().__init__(node_id)
+        self.sendlist = list(sendlist)  # (cycle, packet)
+
+    def step(self, cycle):
+        while self.sendlist and self.sendlist[0][0] <= cycle:
+            _, packet = self.sendlist.pop(0)
+            self.send(packet, cycle)
+
+    @property
+    def idle(self):
+        return not self.sendlist
+
+
+def _packet(src, dst, nbytes=32):
+    return Packet(src=src, dst=dst, payload_bytes=nbytes, traffic_class=TrafficClass.WEIGHTS)
+
+
+class TestDelivery:
+    def test_single_packet_arrives(self):
+        sim = NocSimulator(Mesh(4, 4))
+        dst = Collector(15)
+        sim.attach_node(Sender(0, [(0, _packet(0, 15))]))
+        sim.attach_node(dst)
+        stats = sim.run()
+        assert len(dst.received) == 1
+        assert stats.packets_delivered == 1
+
+    def test_zero_hop_self_delivery(self):
+        sim = NocSimulator(Mesh(4, 4))
+        node = Collector(5)
+        sim.attach_node(node)
+        sim.attach_node(Sender(5, [(0, _packet(5, 5))])) if False else None
+        # sender and collector on the same node: use a combined node
+        class Both(Collector):
+            def __init__(self):
+                super().__init__(5)
+                self.sent = False
+
+            def step(self, cycle):
+                if not self.sent:
+                    self.send(_packet(5, 5), cycle)
+                    self.sent = True
+
+            @property
+            def idle(self):
+                return self.sent
+
+        sim2 = NocSimulator(Mesh(4, 4))
+        both = Both()
+        sim2.attach_node(both)
+        sim2.run()
+        assert len(both.received) == 1
+
+    def test_min_latency_matches_pipeline(self):
+        """head inject -> (pipeline + 1) per hop + serialization."""
+        sim = NocSimulator(Mesh(4, 4, pipeline_depth=2))
+        dst = Collector(1)
+        sim.attach_node(Sender(0, [(0, _packet(0, 1, nbytes=0))]))  # 1 flit
+        sim.attach_node(dst)
+        sim.run()
+        p = dst.received[0]
+        # 1 hop: inject (router0 buffer) + pipe(2) + link + pipe(2) + eject
+        assert 4 <= p.latency <= 8
+
+    def test_payload_accounting_per_class(self):
+        sim = NocSimulator(Mesh(4, 4))
+        dst = Collector(10)
+        sim.attach_node(
+            Sender(
+                0,
+                [
+                    (0, _packet(0, 10, 64)),
+                    (0, Packet(0, 10, 32, TrafficClass.OFMAP)),
+                ],
+            )
+        )
+        sim.attach_node(dst)
+        stats = sim.run()
+        assert stats.payload_bytes["weights"] == 64
+        assert stats.payload_bytes["ofmap"] == 32
+
+    def test_flit_hops_equal_flits_times_distance(self):
+        sim = NocSimulator(Mesh(4, 4))
+        dst = Collector(15)
+        p = _packet(0, 15, 80)  # 11 flits, 6 hops
+        sim.attach_node(Sender(0, [(0, p)]))
+        sim.attach_node(dst)
+        stats = sim.run()
+        assert stats.flit_hops == p.num_flits * 6
+
+    def test_in_order_delivery_per_flow(self):
+        """Wormhole + deterministic routing => per-flow FIFO order."""
+        sim = NocSimulator(Mesh(4, 4))
+        dst = Collector(15)
+        packets = [_packet(0, 15, 16) for _ in range(10)]
+        sim.attach_node(Sender(0, [(0, p) for p in packets]))
+        sim.attach_node(dst)
+        sim.run()
+        assert [p.pid for p in dst.received] == [p.pid for p in packets]
+
+    def test_packets_arrive_exactly_once(self):
+        sim = NocSimulator(Mesh(4, 4))
+        collectors = {i: Collector(i) for i in (3, 12, 15)}
+        for c in collectors.values():
+            sim.attach_node(c)
+        packets = []
+        sendlist = []
+        for i, dst in enumerate((3, 12, 15, 3, 12, 15)):
+            p = _packet(0, dst, 24)
+            packets.append(p)
+            sendlist.append((i, p))
+        sim.attach_node(Sender(0, sendlist))
+        stats = sim.run()
+        got = [p.pid for c in collectors.values() for p in c.received]
+        assert sorted(got) == sorted(p.pid for p in packets)
+        assert stats.packets_delivered == len(packets)
+
+
+class TestContention:
+    def test_many_to_one_hotspot_all_delivered(self):
+        sim = NocSimulator(Mesh(4, 4))
+        dst = Collector(5)
+        sim.attach_node(dst)
+        packets = []
+        for src in range(16):
+            if src == 5:
+                continue
+            p = _packet(src, 5, 40)
+            packets.append(p)
+            sim.attach_node(Sender(src, [(0, p)]))
+        sim.run()
+        assert len(dst.received) == len(packets)
+
+    def test_all_to_all_quiesces(self):
+        """Random permutation traffic: deadlock freedom under load."""
+        rng = np.random.default_rng(0)
+        sim = NocSimulator(Mesh(4, 4, buffer_depth=2))
+        collectors = {i: Collector(i) for i in range(16)}
+        total = 0
+        for node_id, c in collectors.items():
+            sim.attach_node(c)
+        senders = []
+        for src in range(16):
+            sends = []
+            for k in range(5):
+                dst = int(rng.integers(0, 16))
+                if dst == src:
+                    continue
+                sends.append((k * 3, _packet(src, dst, int(rng.integers(8, 120)))))
+                total += 1
+            # collectors are already attached; wrap sender on a ghost? ->
+            # use a sender co-located via a combined node below
+            senders.append((src, sends))
+        # combined send+collect nodes
+        sim2 = NocSimulator(Mesh(4, 4, buffer_depth=2))
+
+        class Both(Collector):
+            def __init__(self, node_id, sends):
+                super().__init__(node_id)
+                self.sends = sends
+
+            def step(self, cycle):
+                while self.sends and self.sends[0][0] <= cycle:
+                    self.send(self.sends.pop(0)[1], cycle)
+
+            @property
+            def idle(self):
+                return not self.sends
+
+        boths = [Both(src, list(sends)) for src, sends in senders]
+        for b in boths:
+            sim2.attach_node(b)
+        stats = sim2.run(max_cycles=100_000)
+        assert sum(len(b.received) for b in boths) == total
+        assert stats.cycles < 100_000
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_random_traffic_property(self, seed):
+        """Any random workload quiesces with every packet delivered once."""
+        rng = np.random.default_rng(seed)
+
+        class Both(Collector):
+            def __init__(self, node_id, sends):
+                super().__init__(node_id)
+                self.sends = sends
+
+            def step(self, cycle):
+                while self.sends and self.sends[0][0] <= cycle:
+                    self.send(self.sends.pop(0)[1], cycle)
+
+            @property
+            def idle(self):
+                return not self.sends
+
+        sim = NocSimulator(Mesh(4, 4, buffer_depth=int(rng.integers(1, 5))))
+        expected = 0
+        nodes = []
+        for src in range(16):
+            sends = []
+            for _ in range(int(rng.integers(0, 4))):
+                dst = int(rng.integers(0, 16))
+                sends.append(
+                    (int(rng.integers(0, 20)), _packet(src, dst, int(rng.integers(0, 64))))
+                )
+                expected += 1
+            sends.sort(key=lambda t: t[0])
+            node = Both(src, sends)
+            nodes.append(node)
+            sim.attach_node(node)
+        stats = sim.run(max_cycles=50_000)
+        assert stats.packets_delivered == expected
+
+
+class TestValidation:
+    def test_duplicate_node(self):
+        sim = NocSimulator(Mesh(4, 4))
+        sim.attach_node(Collector(3))
+        with pytest.raises(ValueError):
+            sim.attach_node(Collector(3))
+
+    def test_node_outside_mesh(self):
+        sim = NocSimulator(Mesh(4, 4))
+        with pytest.raises(ValueError):
+            sim.attach_node(Collector(99))
+
+    def test_max_cycles_guard(self):
+        sim = NocSimulator(Mesh(4, 4))
+
+        class Chatterbox(Node):
+            def step(self, cycle):
+                self.send(_packet(self.node_id, 15, 8), cycle)
+
+            @property
+            def idle(self):
+                return False
+
+        sim.attach_node(Chatterbox(0))
+        sim.attach_node(Collector(15))
+        with pytest.raises(RuntimeError, match="did not quiesce"):
+            sim.run(max_cycles=200)

@@ -1,0 +1,117 @@
+"""Virtual channels: correctness and head-of-line-blocking relief."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noc import Mesh, NocSimulator, Packet, TrafficClass
+from repro.noc.router import EAST, NORTH, WEST, Router
+from repro.noc.flit import packetize
+from repro.noc.simulator import Node
+
+
+class _Both(Node):
+    def __init__(self, node_id, sends):
+        super().__init__(node_id)
+        self.sends = list(sends)
+        self.received = []
+
+    def step(self, cycle):
+        while self.sends and self.sends[0][0] <= cycle:
+            self.send(self.sends.pop(0)[1], cycle)
+
+    def on_packet(self, packet, cycle):
+        self.received.append(packet)
+
+    @property
+    def idle(self):
+        return not self.sends
+
+
+def _pkt(src, dst, nbytes=40):
+    return Packet(src=src, dst=dst, payload_bytes=nbytes, traffic_class=TrafficClass.WEIGHTS)
+
+
+class TestRouterVCs:
+    def test_vc_validation(self):
+        with pytest.raises(ValueError):
+            Router(0, 4, 4, num_vcs=0)
+
+    def test_buffers_per_vc(self):
+        r = Router(0, 4, 4, num_vcs=2, buffer_depth=2)
+        assert len(r.buffers[0]) == 2
+        assert r.credits[EAST] == [2, 2]
+
+    def test_vcs_fill_independently(self):
+        r = Router(5, 4, 4, num_vcs=2, buffer_depth=1)
+        p = _pkt(0, 6)
+        f0 = packetize(p)[0]
+        f0.vc = 0
+        r.accept(f0, WEST, 0)
+        assert not r.can_accept(WEST, 0)
+        assert r.can_accept(WEST, 1)
+
+    def test_locks_are_per_vc(self):
+        """Two worms can hold the same output on different VCs; the
+        switch still grants one flit per output per cycle."""
+        r = Router(5, 4, 4, num_vcs=2)
+        t0 = packetize(_pkt(0, 6, 24))
+        t1 = packetize(_pkt(0, 6, 24))
+        for f in t0:
+            f.vc = 0
+        for f in t1:
+            f.vc = 1
+        r.accept(t0[0], WEST, 0)
+        r.accept(t1[0], NORTH, 0)
+        moved = []
+        for cycle in range(10, 20):
+            moved += r.plan_moves(cycle)
+            if len(moved) >= 2:
+                break
+        # both heads eventually advance, holding (EAST,0) and (EAST,1)
+        assert {(EAST, 0), (EAST, 1)} <= set(r.output_lock.keys())
+
+
+@pytest.mark.parametrize("num_vcs", [1, 2, 4])
+class TestDeliveryWithVCs:
+    def test_random_traffic_all_delivered(self, num_vcs):
+        rng = np.random.default_rng(9)
+        sim = NocSimulator(Mesh(4, 4, buffer_depth=2, num_vcs=num_vcs))
+        expected = 0
+        nodes = []
+        for src in range(16):
+            sends = []
+            for k in range(4):
+                dst = int(rng.integers(0, 16))
+                sends.append((k * 2, _pkt(src, dst, int(rng.integers(8, 120)))))
+                expected += 1
+            node = _Both(src, sends)
+            nodes.append(node)
+            sim.attach_node(node)
+        stats = sim.run(max_cycles=100_000)
+        assert stats.packets_delivered == expected
+
+
+class TestHoLBlockingRelief:
+    def _crossing_latency(self, num_vcs: int) -> float:
+        """A long worm to a far target shares a path segment with short
+        packets; with VCs the short packets slip past the stalled worm."""
+        sim = NocSimulator(Mesh(4, 4, buffer_depth=2, num_vcs=num_vcs))
+        sink_far = _Both(3, [])
+        sink_near = _Both(2, [])
+        sends = [(0, _pkt(0, 3, 1024))]  # 129-flit worm 0 -> 3
+        sends += [(1 + k, _pkt(0, 2, 0)) for k in range(6)]  # single-flit
+        src = _Both(0, sends)
+        for n in (sink_far, sink_near, src):
+            sim.attach_node(n)
+        sim.run(max_cycles=50_000)
+        lats = [p.latency for p in sink_near.received]
+        return float(np.mean(lats))
+
+    def test_vcs_reduce_short_packet_latency(self):
+        # the worm and the short packets share links; short packets on a
+        # different VC should not wait for the whole worm serialization
+        lat1 = self._crossing_latency(1)
+        lat2 = self._crossing_latency(2)
+        assert lat2 < lat1
