@@ -13,7 +13,6 @@ from repro.core import (
     select_multi,
     weighted_ratio,
 )
-from repro.core.segmentation import delta_from_percent, segment_boundaries
 from repro.mapping import Accelerator, AcceleratorConfig
 from repro.nn import zoo
 

@@ -9,7 +9,6 @@ transaction model plus the CACTI-style memory estimator.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.core import compress_percent

@@ -51,11 +51,9 @@ def test_link_hotspots_around_memory_corners(benchmark, save_artifact):
     layer = spec.layer("dense_1")
 
     def run():
-        import repro.noc.simulator as sim_mod
 
         sched = acc.schedule_layer(layer)
         # run flit-level manually to keep the stats object
-        from repro.mapping.accelerator import AcceleratorConfig
         from repro.noc import (
             Mesh,
             MemoryInterface,

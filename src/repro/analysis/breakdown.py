@@ -4,9 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..energy.model import COMPONENTS, EnergyBreakdown
+from ..energy.model import COMPONENTS
 from ..mapping.accelerator import ModelResult
-from ..noc.transaction import LatencyComponents
 
 __all__ = ["LayerBars", "latency_bars", "energy_bars", "normalize_series"]
 

@@ -35,18 +35,15 @@ def rle_encode(data: bytes | np.ndarray) -> bytes:
     ends = np.concatenate((change + 1, [buf.size]))
     lengths = ends - starts
     values = buf[starts]
-    # split runs longer than 255
+    # split runs longer than 255: each run emits ceil(len/255) chunks of
+    # 255 with the remainder (1..255) in its final chunk
     reps = -(-lengths // 255)
     out_vals = np.repeat(values, reps)
-    out_counts = np.empty(out_vals.size, dtype=np.uint8)
-    pos = 0
-    for length, r in zip(lengths, reps):
-        full, last = divmod(int(length), 255)
-        counts = [255] * full + ([last] if last else [])
-        out_counts[pos : pos + len(counts)] = counts
-        pos += len(counts)
+    out_counts = np.full(out_vals.size, 255, dtype=np.uint8)
+    last_idx = np.cumsum(reps) - 1
+    out_counts[last_idx] = lengths - 255 * (reps - 1)
     pairs = np.empty((out_vals.size, 2), dtype=np.uint8)
-    pairs[:, 0] = out_counts[: out_vals.size]
+    pairs[:, 0] = out_counts
     pairs[:, 1] = out_vals
     return pairs.tobytes()
 

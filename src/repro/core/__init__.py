@@ -12,6 +12,10 @@ decompressor
     Cycle/bit-level model of the on-PE decompression unit (Fig. 6).
 codec
     Byte-level wire format of compressed streams.
+codecs
+    Pluggable codec registry: ``get_codec("linefit"|"huffman"|"rle"|
+    "lz"|"quantize-int8", ...)``, ``|``-chained composition, and the
+    ``Codec``/``CompressedBlob`` contract every consumer speaks.
 metrics
     CR / weighted CR / footprint / MSE reporting (Tab. II).
 quantization
@@ -38,6 +42,16 @@ from .activation_compression import (
     ActivationProfile,
     activation_cr_profile,
     evaluate_with_compressed_activations,
+)
+from .codecs import (
+    Codec,
+    CodecError,
+    ComposedCodec,
+    CompressedBlob,
+    LineFitCodec,
+    codec_names,
+    get_codec,
+    register_codec,
 )
 from .compression import (
     CompressedStream,
@@ -68,6 +82,14 @@ __all__ = [
     "ActivationProfile",
     "activation_cr_profile",
     "evaluate_with_compressed_activations",
+    "Codec",
+    "CodecError",
+    "ComposedCodec",
+    "CompressedBlob",
+    "LineFitCodec",
+    "codec_names",
+    "get_codec",
+    "register_codec",
     "ModelArchive",
     "compress_model",
     "load_archive",

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..nn.graph import Model
 from ..nn.train import topk_accuracy
-from .compression import CompressedStream, compress_percent
+from .compression import compress_percent
 
 __all__ = [
     "ActivationProfile",

@@ -24,8 +24,9 @@ import struct
 import numpy as np
 
 from .compression import CompressedStream, StorageFormat
+from .errors import CodecError
 
-__all__ = ["encode", "decode", "HEADER_BYTES"]
+__all__ = ["encode", "decode", "HEADER_BYTES", "CodecError"]
 
 _MAGIC = b"RWCS"
 _VERSION = 2
@@ -33,6 +34,7 @@ _HEADER = struct.Struct("<4sBBI d")
 HEADER_BYTES = _HEADER.size
 
 _FLAG_INT8 = 0x01
+_KNOWN_FLAGS = _FLAG_INT8
 
 
 def _pack_coeff(values: np.ndarray, nbytes: int) -> np.ndarray:
@@ -82,18 +84,30 @@ def encode(stream: CompressedStream) -> bytes:
 
 
 def decode(data: bytes) -> CompressedStream:
-    """Parse bytes produced by :func:`encode` back into a stream."""
+    """Parse bytes produced by :func:`encode` back into a stream.
+
+    Raises
+    ------
+    CodecError
+        On truncated buffers, bad magic, unknown versions, unknown
+        format flags and body-size mismatches.
+    """
     if len(data) < HEADER_BYTES:
-        raise ValueError("truncated compressed stream (missing header)")
-    magic, version, flags, num_segments, delta = _HEADER.unpack_from(data)
+        raise CodecError("truncated compressed stream (missing header)")
+    try:
+        magic, version, flags, num_segments, delta = _HEADER.unpack_from(data)
+    except struct.error as exc:  # pragma: no cover - guarded by length check
+        raise CodecError(f"malformed compressed stream header: {exc}") from exc
     if magic != _MAGIC:
-        raise ValueError(f"bad magic {magic!r}, expected {_MAGIC!r}")
+        raise CodecError(f"bad magic {magic!r}, expected {_MAGIC!r}")
     if version != _VERSION:
-        raise ValueError(f"unsupported version {version}")
+        raise CodecError(f"unsupported version {version}")
+    if flags & ~_KNOWN_FLAGS:
+        raise CodecError(f"unknown format flags 0x{flags & ~_KNOWN_FLAGS:02x}")
     fmt = StorageFormat.int8() if flags & _FLAG_INT8 else StorageFormat.float32()
     expected = HEADER_BYTES + num_segments * fmt.segment_bytes
     if len(data) != expected:
-        raise ValueError(f"body size mismatch: got {len(data)}, expected {expected}")
+        raise CodecError(f"body size mismatch: got {len(data)}, expected {expected}")
     body = np.frombuffer(data, dtype=np.uint8, offset=HEADER_BYTES).reshape(
         num_segments, fmt.segment_bytes
     )

@@ -1,0 +1,50 @@
+"""Pluggable compression codecs: one interface from segmentation to NoC traffic.
+
+Every compressor — the paper's line-fit scheme and the lossless
+baselines alike — implements the same small contract
+(:class:`~repro.core.codecs.base.Codec`): ``encode(stream)`` returns a
+self-describing :class:`~repro.core.codecs.base.CompressedBlob` whose
+byte accounting drives CR metrics, model archives and the accelerator's
+traffic/energy model; ``decode(blob)`` reconstructs the stream.  Codecs
+are looked up by name through a registry and can be chained with ``|``::
+
+    from repro.core.codecs import get_codec
+
+    blob = get_codec("linefit", delta_pct=15.0).encode(weights)
+    blob = get_codec("huffman").encode(weights)             # lossless baseline
+    blob = get_codec("quantize-int8|linefit", delta_pct=5.0,
+                     fmt="int8").encode(weights)            # Tab. III stacking
+
+Registered codecs
+-----------------
+``linefit``
+    The paper's compressor (reference implementation; wire format is
+    byte-identical to :mod:`repro.core.codec`).
+``rle`` / ``huffman`` / ``lz``
+    The Sec. III-B lossless baselines (exact reconstruction, CR ~= 1 on
+    weight streams).
+``quantize-int8``
+    TFLite-style int8 quantization; standalone or as a transform stage.
+"""
+
+from .base import Codec, CodecError, CompressedBlob
+from .composed import ComposedCodec
+from .linefit import LineFitCodec
+from .lossless import HuffmanCodec, LZCodec, RLECodec
+from .quantize import QuantizeInt8Codec
+from .registry import codec_names, get_codec, register_codec
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "CompressedBlob",
+    "ComposedCodec",
+    "LineFitCodec",
+    "RLECodec",
+    "HuffmanCodec",
+    "LZCodec",
+    "QuantizeInt8Codec",
+    "codec_names",
+    "get_codec",
+    "register_codec",
+]

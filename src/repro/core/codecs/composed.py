@@ -1,0 +1,88 @@
+"""Chaining codec stages: transforms feeding a terminal codec.
+
+``ComposedCodec([quantize, linefit])`` encodes by running each
+non-terminal stage's :meth:`~repro.core.codecs.base.Codec.transform`
+left to right and handing the re-represented stream to the terminal
+stage; decoding runs the terminal decode then the stages'
+``untransform`` right to left.  Transform side-info (e.g. quantization
+scale/zero-point) rides in the blob's ``meta`` so a chain round-trips
+through a :class:`~repro.core.model_store.ModelArchive` like any other
+codec.
+
+CR accounting follows the terminal stage's convention — for
+``quantize-int8|linefit`` that is segments-vs-int8-bytes, exactly the
+Tab. III stacked-CR math (the quantization rung's own 4x is accounted
+separately, as the paper does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+from .base import Codec, CompressedBlob
+
+__all__ = ["ComposedCodec"]
+
+
+class ComposedCodec(Codec):
+    """A ``stage | ... | terminal`` chain behind the ``Codec`` interface.
+
+    Built by ``get_codec("a|b|c", **terminal_params)``; non-terminal
+    stages are transform-capable codecs constructed with their defaults,
+    the terminal stage takes the chain's parameters.
+    """
+
+    def __init__(self, stages: list[Codec]) -> None:
+        if not stages:
+            raise CodecError("a codec chain needs at least one stage")
+        self.stages = list(stages)
+        self.name = "|".join(s.name for s in self.stages)
+        self.lossless = all(s.lossless for s in self.stages)
+
+    @property
+    def terminal(self) -> Codec:
+        return self.stages[-1]
+
+    def params(self) -> dict:
+        return self.terminal.params()
+
+    def encode(self, weights: np.ndarray) -> CompressedBlob:
+        stream = weights
+        infos = []
+        for stage in self.stages[:-1]:
+            stream, info = stage.transform(stream)
+            infos.append(info)
+        inner = self.terminal.encode(stream)
+        meta = dict(inner.meta)
+        meta["transforms"] = infos
+        return CompressedBlob(
+            codec=self.name,
+            params=self.params(),
+            payload=inner.payload,
+            meta=meta,
+            original_bytes=inner.original_bytes,
+            compressed_bytes=inner.compressed_bytes,
+        )
+
+    def _terminal_blob(self, blob: CompressedBlob) -> CompressedBlob:
+        return CompressedBlob(
+            codec=self.terminal.name,
+            params=self.terminal.params(),
+            payload=blob.payload,
+            meta=blob.meta,
+            original_bytes=blob.original_bytes,
+            compressed_bytes=blob.compressed_bytes,
+        )
+
+    def decode(self, blob: CompressedBlob) -> np.ndarray:
+        infos = blob.meta.get("transforms", [])
+        if len(infos) != len(self.stages) - 1:
+            raise CodecError(
+                f"blob carries {len(infos)} transform records, chain "
+                f"{self.name!r} expects {len(self.stages) - 1}"
+            )
+        stream = self.terminal.decode(self._terminal_blob(blob))
+        for stage, info in zip(reversed(self.stages[:-1]), reversed(infos)):
+            stream = stage.untransform(stream, info)
+        return stream

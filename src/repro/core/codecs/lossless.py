@@ -1,0 +1,160 @@
+"""Lossless baseline compressors adapted to the :class:`Codec` interface.
+
+The paper's Sec. III-B argument — weight streams are too high-entropy
+for classical compression — becomes directly measurable once RLE,
+Huffman and LZSS flow through the same pipeline as the line-fit codec:
+their CR hovers near (or below) 1.0 on weights while accuracy is exactly
+unchanged, because decoding is exact.
+
+Each payload is self-contained: a small header carries the stream dtype
+and element count (plus the Huffman code table), so a blob decodes
+without out-of-band state.  All three accept-and-ignore the sweep knob
+``delta_pct`` so one driver loop can sweep every registered codec.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...baselines.huffman import HuffmanCode, huffman_decode, huffman_encode
+from ...baselines.lz import lz_decode, lz_encode
+from ...baselines.rle import rle_decode, rle_encode
+from ..errors import CodecError
+from .base import Codec, CompressedBlob, as_stream
+from .registry import register_codec
+
+__all__ = ["RLECodec", "HuffmanCodec", "LZCodec"]
+
+#: dtype string <= 15 bytes, padded; then u64 element count
+_STREAM_HEADER = struct.Struct("<16sQ")
+
+
+def _pack_stream_header(w: np.ndarray) -> bytes:
+    name = w.dtype.str.encode()
+    if len(name) > 16:
+        raise CodecError(f"dtype {w.dtype} name too long to serialize")
+    return _STREAM_HEADER.pack(name, w.size)
+
+
+def _unpack_stream_header(payload: bytes) -> tuple[np.dtype, int, bytes]:
+    if len(payload) < _STREAM_HEADER.size:
+        raise CodecError("truncated lossless payload (missing stream header)")
+    name, count = _STREAM_HEADER.unpack_from(payload)
+    try:
+        dtype = np.dtype(name.rstrip(b"\0").decode())
+    except (TypeError, UnicodeDecodeError) as exc:
+        raise CodecError(f"bad dtype in lossless payload: {exc}") from exc
+    return dtype, count, payload[_STREAM_HEADER.size :]
+
+
+def _bytes_to_stream(raw: bytes, dtype: np.dtype, count: int) -> np.ndarray:
+    expected = count * dtype.itemsize
+    if len(raw) != expected:
+        raise CodecError(
+            f"payload decodes to {len(raw)} bytes, expected {expected}"
+        )
+    return np.frombuffer(raw, dtype=dtype).copy()
+
+
+class _LosslessCodec(Codec):
+    """Shared framing for byte-oriented lossless codecs."""
+
+    lossless = True
+
+    def __init__(self, delta_pct: float = 0.0) -> None:
+        # The tolerance knob exists only for sweep uniformity; lossless
+        # codecs have nothing to relax.
+        self.delta_pct = float(delta_pct)
+
+    def params(self) -> dict:
+        return {}
+
+    def _encode_bytes(self, buf: np.ndarray) -> bytes:
+        raise NotImplementedError
+
+    def _decode_bytes(self, body: bytes, count_bytes: int) -> bytes:
+        raise NotImplementedError
+
+    def encode(self, weights: np.ndarray) -> CompressedBlob:
+        w = as_stream(weights)
+        buf = w.view(np.uint8)
+        body = self._encode_bytes(buf)
+        payload = _pack_stream_header(w) + body
+        return CompressedBlob(
+            codec=self.name,
+            params=self.params(),
+            payload=payload,
+            meta={"num_weights": int(w.size), "dtype": str(w.dtype)},
+            original_bytes=int(buf.size),
+            compressed_bytes=len(body),
+        )
+
+    def decode(self, blob: CompressedBlob) -> np.ndarray:
+        dtype, count, body = _unpack_stream_header(blob.payload)
+        raw = self._decode_bytes(body, count * dtype.itemsize)
+        return _bytes_to_stream(raw, dtype, count)
+
+
+@register_codec("rle")
+class RLECodec(_LosslessCodec):
+    """Byte-level run-length encoding (``(count, value)`` pairs)."""
+
+    def _encode_bytes(self, buf: np.ndarray) -> bytes:
+        return rle_encode(buf)
+
+    def _decode_bytes(self, body: bytes, count_bytes: int) -> bytes:
+        return rle_decode(body)
+
+
+@register_codec("lz")
+class LZCodec(_LosslessCodec):
+    """LZ77/LZSS dictionary coder.
+
+    Encoding is O(n) Python per byte; prefer sampled streams (see
+    ``repro.experiments.table2_compression``) for multi-megabyte inputs.
+    """
+
+    def _encode_bytes(self, buf: np.ndarray) -> bytes:
+        return lz_encode(buf)
+
+    def _decode_bytes(self, body: bytes, count_bytes: int) -> bytes:
+        return lz_decode(body)
+
+
+@register_codec("huffman")
+class HuffmanCodec(_LosslessCodec):
+    """Byte-level Huffman coding; the code table rides in the payload.
+
+    Table entries serialize as ``(symbol u8, length u8, code u32)``; the
+    table cost counts toward ``compressed_bytes``, mirroring
+    :func:`repro.baselines.huffman.huffman_ratio`'s accounting.
+    """
+
+    _ENTRY = struct.Struct("<BBI")
+    _TABLE_HEADER = struct.Struct("<H")
+
+    def _encode_bytes(self, buf: np.ndarray) -> bytes:
+        bits, code = huffman_encode(buf)
+        entries = b"".join(
+            self._ENTRY.pack(sym, length, value)
+            for sym, (length, value) in sorted(code.table.items())
+        )
+        return self._TABLE_HEADER.pack(len(code.table)) + entries + bits
+
+    def _decode_bytes(self, body: bytes, count_bytes: int) -> bytes:
+        if len(body) < self._TABLE_HEADER.size:
+            raise CodecError("truncated huffman payload (missing table)")
+        (n_entries,) = self._TABLE_HEADER.unpack_from(body)
+        offset = self._TABLE_HEADER.size
+        end = offset + n_entries * self._ENTRY.size
+        if len(body) < end:
+            raise CodecError("truncated huffman payload (incomplete table)")
+        table = {}
+        for i in range(n_entries):
+            sym, length, value = self._ENTRY.unpack_from(body, offset + i * self._ENTRY.size)
+            table[sym] = (length, value)
+        if count_bytes == 0:
+            return b""
+        return huffman_decode(body[end:], HuffmanCode(table=table), count_bytes)

@@ -1,0 +1,69 @@
+"""Int8 quantization as a codec stage (Tab. III's first rung).
+
+``quantize-int8`` is the registry form of
+:func:`repro.core.quantization.quantize_tensor`.  It serves two roles:
+
+* a **transform stage** in a composed chain — ``"quantize-int8|linefit"``
+  reproduces the Tab. III stacking experiment (compress the int8 value
+  stream, dequantize after decoding), subsuming the ``quantize_first``
+  special case that used to live inside ``CompressionPipeline.run_delta``;
+* a **standalone codec** — int8 payload + per-tensor scale/zero-point,
+  i.e. plain post-training quantization at CR ~= 4 over fp32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantization import quantize_tensor
+from .base import Codec, CompressedBlob, as_stream
+from .registry import register_codec
+
+__all__ = ["QuantizeInt8Codec"]
+
+
+@register_codec("quantize-int8")
+class QuantizeInt8Codec(Codec):
+    lossless = False
+
+    def __init__(self, delta_pct: float = 0.0) -> None:
+        # Sweep-uniformity knob; quantization has no tolerance to relax.
+        self.delta_pct = float(delta_pct)
+
+    def params(self) -> dict:
+        return {}
+
+    # -- transform stage ------------------------------------------------------
+    def transform(self, weights: np.ndarray) -> tuple[np.ndarray, dict]:
+        qt = quantize_tensor(as_stream(weights))
+        stream = qt.values.astype(np.float32).ravel()
+        return stream, {"scale": float(qt.scale), "zero_point": int(qt.zero_point)}
+
+    def untransform(self, stream: np.ndarray, info: dict) -> np.ndarray:
+        values = np.asarray(stream, dtype=np.float32)
+        return (values - np.float32(info["zero_point"])) * np.float32(info["scale"])
+
+    # -- standalone codec -----------------------------------------------------
+    def encode(self, weights: np.ndarray) -> CompressedBlob:
+        w = as_stream(weights)
+        qt = quantize_tensor(w)
+        return CompressedBlob(
+            codec=self.name,
+            params=self.params(),
+            payload=qt.values.tobytes(),
+            meta={
+                "num_weights": int(w.size),
+                "dtype": str(w.dtype),
+                "scale": float(qt.scale),
+                "zero_point": int(qt.zero_point),
+            },
+            original_bytes=int(w.view(np.uint8).size),
+            compressed_bytes=qt.footprint_bytes,
+        )
+
+    def decode(self, blob: CompressedBlob) -> np.ndarray:
+        values = np.frombuffer(blob.payload, dtype=np.int8).astype(np.float32)
+        return self.untransform(
+            values,
+            {"scale": blob.meta["scale"], "zero_point": blob.meta["zero_point"]},
+        )

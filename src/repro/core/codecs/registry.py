@@ -1,0 +1,78 @@
+"""String-keyed codec registry and the ``get_codec`` factory.
+
+Codecs register under a short name; ``get_codec("name", **params)``
+instantiates one.  Pipe-separated specs build a
+:class:`~repro.core.codecs.composed.ComposedCodec` whose non-terminal
+stages run as transforms (constructed with their defaults) and whose
+terminal stage receives ``**params``::
+
+    get_codec("linefit", delta_pct=15.0)
+    get_codec("huffman")                       # lossless baseline
+    get_codec("quantize-int8|linefit", delta_pct=5.0, fmt="int8")
+
+Adding a codec is a drop-in::
+
+    @register_codec("my-codec")
+    class MyCodec(Codec):
+        ...
+"""
+
+from __future__ import annotations
+
+from ..errors import CodecError
+from .base import Codec
+
+__all__ = ["register_codec", "get_codec", "codec_names"]
+
+_REGISTRY: dict[str, type[Codec]] = {}
+
+
+def register_codec(name: str):
+    """Class decorator: register a :class:`Codec` subclass under ``name``."""
+
+    def decorator(cls: type[Codec]) -> type[Codec]:
+        if "|" in name:
+            raise CodecError(f"codec name {name!r} must not contain '|'")
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise CodecError(f"codec name {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def codec_names() -> list[str]:
+    """Sorted names of every registered codec."""
+    return sorted(_REGISTRY)
+
+
+def get_codec(spec: str | Codec, **params) -> Codec:
+    """Instantiate a codec from a registry spec.
+
+    ``spec`` may be a registered name, a ``"stage|...|terminal"`` chain,
+    or an already-built :class:`Codec` (returned as-is; ``params`` must
+    then be empty).
+    """
+    if isinstance(spec, Codec):
+        if params:
+            raise CodecError("cannot re-parameterize an existing Codec instance")
+        return spec
+    if "|" in spec:
+        from .composed import ComposedCodec
+
+        *stage_names, terminal = [s.strip() for s in spec.split("|")]
+        if not terminal or any(not s for s in stage_names):
+            raise CodecError(f"malformed codec chain {spec!r}")
+        stages = [get_codec(s) for s in stage_names]
+        return ComposedCodec([*stages, get_codec(terminal, **params)])
+    cls = _REGISTRY.get(spec)
+    if cls is None:
+        raise CodecError(
+            f"unknown codec {spec!r}; registered codecs: {codec_names()}"
+        )
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise CodecError(f"bad parameters for codec {spec!r}: {exc}") from exc

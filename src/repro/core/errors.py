@@ -1,0 +1,20 @@
+"""Exception types shared across the compression stack.
+
+Kept in a leaf module so both the low-level wire format
+(:mod:`repro.core.codec`) and the pluggable codec framework
+(:mod:`repro.core.codecs`) can raise the same error without importing
+each other.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CodecError"]
+
+
+class CodecError(ValueError):
+    """A compressed payload (or codec configuration) is invalid.
+
+    Raised on truncated buffers, bad magic, unknown versions or flags,
+    and unknown/ill-configured codec names.  Subclasses ``ValueError``
+    so pre-existing ``except ValueError`` call sites keep working.
+    """

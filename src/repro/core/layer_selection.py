@@ -19,7 +19,6 @@ accuracy-driven depth constraint.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..nn.arch import ArchSpec, LayerSpec
 from ..nn.graph import Model

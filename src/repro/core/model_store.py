@@ -1,15 +1,23 @@
 """Whole-model compressed archives.
 
 The deployable artifact of this system: a container holding, per layer,
-either the wire-format compressed weight stream (for layers the
-selection policy / multi-layer optimizer chose) or the raw tensor, plus
+either a codec's compressed weight blob (for layers the selection
+policy / multi-layer optimizer chose) or the raw tensor, plus
 everything needed to restore an inference-ready model.  This is what a
 host would flash into the accelerator's parameter storage.
+
+Archives are codec-agnostic: each compressed layer records the registry
+name and parameters of the codec that produced it (plus the blob's
+decode metadata), so an archive built with ``codec="huffman"`` restores
+exactly like one built with the default ``"linefit"``.  Archives written
+before the codec registry existed (no ``meta.codecs`` entry) decode
+through the line-fit wire format, as before.
 
 Format: a ``.npz`` with
   ``meta.layers``              ordered layer names (JSON)
   ``meta.assignments``         layer -> delta_pct for compressed layers
-  ``compressed.<name>``        codec bytes (uint8) for compressed layers
+  ``meta.codecs``              layer -> codec spec (name/params/meta/bytes)
+  ``compressed.<name>``        codec payload bytes (uint8)
   ``shape.<name>``             original tensor shape
   ``raw.<name>``               raw float32 tensor for untouched layers
   ``state.<key>``              non-weight model state (biases, BN, ...)
@@ -24,8 +32,8 @@ from pathlib import Path
 import numpy as np
 
 from ..nn.graph import Model
-from .codec import decode, encode
-from .compression import compress_percent
+from .codec import decode as wire_decode
+from .codecs import Codec, CompressedBlob, get_codec
 
 __all__ = ["ModelArchive", "compress_model", "load_archive"]
 
@@ -36,12 +44,15 @@ class ModelArchive:
 
     #: layer -> delta_pct used
     assignments: dict[str, float]
-    #: layer -> (codec bytes, original shape)
+    #: layer -> (codec payload bytes, original shape)
     compressed: dict[str, tuple[bytes, tuple[int, ...]]]
     #: layer -> raw weight tensor (not compressed)
     raw: dict[str, np.ndarray]
     #: everything else the model needs (biases, BN stats, ...)
     state: dict[str, np.ndarray] = field(default_factory=dict)
+    #: layer -> codec spec (see ``CompressedBlob.spec``); layers absent
+    #: here decode through the legacy line-fit wire path
+    codecs: dict[str, dict] = field(default_factory=dict)
 
     @property
     def compressed_weight_bytes(self) -> int:
@@ -66,6 +77,10 @@ class ModelArchive:
                 json.dumps(self.assignments).encode(), dtype=np.uint8
             ),
         }
+        if self.codecs:
+            arrays["meta.codecs"] = np.frombuffer(
+                json.dumps(self.codecs).encode(), dtype=np.uint8
+            )
         for name, (blob, shape) in self.compressed.items():
             arrays[f"compressed.{name}"] = np.frombuffer(blob, dtype=np.uint8)
             arrays[f"shape.{name}"] = np.asarray(shape, dtype=np.int64)
@@ -76,11 +91,18 @@ class ModelArchive:
         np.savez_compressed(path, **arrays)
 
     # -- application -------------------------------------------------------
+    def _decode_layer(self, name: str, payload: bytes) -> np.ndarray:
+        spec = self.codecs.get(name)
+        if spec is None:
+            # legacy archive: line-fit wire format, no registry record
+            return wire_decode(payload).decompress()
+        codec = get_codec(spec["name"], **spec.get("params", {}))
+        return codec.decode(CompressedBlob.rebuild(spec, payload))
+
     def apply(self, model: Model) -> None:
         """Install the archive's weights into a model (decompressing)."""
-        for name, (blob, shape) in self.compressed.items():
-            stream = decode(blob)
-            model.set_weights(name, stream.decompress().reshape(shape))
+        for name, (payload, shape) in self.compressed.items():
+            model.set_weights(name, self._decode_layer(name, payload).reshape(shape))
         for name, arr in self.raw.items():
             model.set_weights(name, arr)
         if self.state:
@@ -97,28 +119,38 @@ def compress_model(
     model: Model,
     assignments: dict[str, float],
     include_state: bool = True,
+    codec: str | Codec = "linefit",
 ) -> ModelArchive:
     """Build an archive from a trained model and a delta assignment.
 
-    Layers named in ``assignments`` are stored as codec streams at their
-    delta; every other parametric layer is stored raw.  With
-    ``include_state`` the non-weight state (biases, batch-norm
-    statistics) rides along so :meth:`ModelArchive.apply` fully restores
-    inference behaviour.
+    Layers named in ``assignments`` are stored as codec blobs at their
+    delta; every other parametric layer is stored raw.  ``codec`` is any
+    :mod:`repro.core.codecs` spec (per-layer deltas parameterize it;
+    lossless codecs ignore them).  With ``include_state`` the non-weight
+    state (biases, batch-norm statistics) rides along so
+    :meth:`ModelArchive.apply` fully restores inference behaviour.
     """
     parametric = dict(model.parametric_layers())
     unknown = set(assignments) - set(parametric)
     if unknown:
         raise ValueError(f"assignments for unknown layers: {sorted(unknown)}")
     compressed = {}
-    raw = {}
-    for name in parametric:
+    codecs = {}
+    for name, delta in assignments.items():
         weights = model.get_weights(name)
-        if name in assignments:
-            stream = compress_percent(weights.ravel(), assignments[name])
-            compressed[name] = (encode(stream), tuple(weights.shape))
-        else:
-            raw[name] = weights.copy()
+        codec_obj = (
+            codec
+            if isinstance(codec, Codec)
+            else get_codec(codec, delta_pct=float(delta))
+        )
+        blob = codec_obj.encode(weights.ravel())
+        compressed[name] = (blob.payload, tuple(weights.shape))
+        codecs[name] = blob.spec()
+    raw = {
+        name: model.get_weights(name).copy()
+        for name in parametric
+        if name not in assignments
+    }
     state = {}
     if include_state:
         weight_keys = {f"{n}.param0" for n in parametric}
@@ -128,13 +160,22 @@ def compress_model(
             if k not in weight_keys
         }
     return ModelArchive(
-        assignments=dict(assignments), compressed=compressed, raw=raw, state=state
+        assignments=dict(assignments),
+        compressed=compressed,
+        raw=raw,
+        state=state,
+        codecs=codecs,
     )
 
 
 def load_archive(path: str | Path) -> ModelArchive:
     with np.load(path) as data:
         assignments = json.loads(bytes(data["meta.assignments"]).decode())
+        codecs = (
+            json.loads(bytes(data["meta.codecs"]).decode())
+            if "meta.codecs" in data.files
+            else {}
+        )
         compressed = {}
         raw = {}
         state = {}
@@ -154,4 +195,5 @@ def load_archive(path: str | Path) -> ModelArchive:
         compressed=compressed,
         raw=raw,
         state=state,
+        codecs=codecs,
     )

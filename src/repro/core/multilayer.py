@@ -17,7 +17,9 @@ according to the most profitable energy/latency/accuracy trade-off"
    budget is exhausted or no candidate helps.
 
 The output maps layer names to delta values, directly consumable by
-``Accelerator.run_model`` via per-layer ``CompressionEffect``s.
+``Accelerator.run_model`` via per-layer ``CompressionEffect``s.  The
+compressor is pluggable: any :mod:`repro.core.codecs` spec works, with
+the paper's ``"linefit"`` as the default.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ import numpy as np
 from ..nn.arch import ArchSpec
 from ..nn.graph import Model
 from ..nn.train import evaluate
-from .compression import compress_percent
+from .codecs import Codec, get_codec
 from .pipeline import apply_compression
 
 __all__ = ["Candidate", "MultiLayerPlan", "optimize_multilayer"]
@@ -69,10 +71,41 @@ def _acc(model: Model, x, y, top_k: int) -> float:
     return res.top1 if top_k == 1 else res.top5
 
 
-def _full_scale_saving(spec: ArchSpec, layer: str, delta_pct: float, seed: int) -> int:
-    weights = spec.materialize(layer, seed=seed).ravel()
-    stream = compress_percent(weights, delta_pct)
-    return max(0, stream.original_bytes - stream.compressed_bytes)
+class _FullScaleSaver:
+    """Memoized full-scale footprint savings.
+
+    The optimizer needs the saving of every candidate once while ranking
+    and again in the final summation loop; materializing and compressing
+    a full-scale layer is the dominant cost, so a ``(layer, delta)``
+    cache (plus a per-layer weights cache across deltas) roughly halves
+    optimizer wall-time.
+    """
+
+    def __init__(self, spec: ArchSpec, codec: str | Codec, seed: int) -> None:
+        self._spec = spec
+        self._codec = codec
+        self._seed = seed
+        self._weights: dict[str, np.ndarray] = {}
+        self._savings: dict[tuple[str, float], int] = {}
+
+    def _layer_weights(self, layer: str) -> np.ndarray:
+        if layer not in self._weights:
+            self._weights[layer] = self._spec.materialize(
+                layer, seed=self._seed
+            ).ravel()
+        return self._weights[layer]
+
+    def __call__(self, layer: str, delta_pct: float) -> int:
+        key = (layer, float(delta_pct))
+        if key not in self._savings:
+            codec = (
+                self._codec
+                if isinstance(self._codec, Codec)
+                else get_codec(self._codec, delta_pct=float(delta_pct))
+            )
+            blob = codec.encode(self._layer_weights(layer))
+            self._savings[key] = max(0, blob.original_bytes - blob.compressed_bytes)
+        return self._savings[key]
 
 
 def optimize_multilayer(
@@ -85,17 +118,20 @@ def optimize_multilayer(
     top_k: int = 1,
     min_depth_fraction: float = 0.4,
     seed: int = 0,
+    codec: str | Codec = "linefit",
 ) -> MultiLayerPlan:
     """Greedy multi-layer delta assignment under an accuracy budget.
 
     ``model`` is the trained proxy (accuracy oracle); ``spec`` is the
     full-scale architecture (footprint accounting).  Only layers present
     in *both* and deep enough (per ``min_depth_fraction``, following the
-    sensitivity analysis) are considered.
+    sensitivity analysis) are considered.  ``codec`` selects the
+    compressor from the :mod:`repro.core.codecs` registry.
     """
     if max_accuracy_drop < 0:
         raise ValueError("max_accuracy_drop must be non-negative")
     baseline = _acc(model, x_test, y_test, top_k)
+    saving_of = _FullScaleSaver(spec, codec, seed)
 
     full_layers = {l.name: l for l in spec.parametric_layers()}
     max_depth = max(l.depth for l in full_layers.values())
@@ -112,7 +148,7 @@ def optimize_multilayer(
     candidates: list[Candidate] = []
     for name in eligible:
         for delta in delta_grid:
-            _, original = apply_compression(model, name, float(delta))
+            _, original = apply_compression(model, name, float(delta), codec=codec)
             drop = baseline - _acc(model, x_test, y_test, top_k)
             model.set_weights(name, original)
             if drop > max_accuracy_drop:
@@ -121,7 +157,7 @@ def optimize_multilayer(
                 Candidate(
                     layer=name,
                     delta_pct=float(delta),
-                    saving_bytes=_full_scale_saving(spec, name, float(delta), seed),
+                    saving_bytes=saving_of(name, float(delta)),
                     solo_drop=drop,
                 )
             )
@@ -131,6 +167,17 @@ def optimize_multilayer(
         key=lambda c: c.saving_bytes / (max(c.solo_drop, 0.0) + 1e-3),
         reverse=True,
     )
+
+    def _apply(layer: str, delta_pct: float) -> None:
+        codec_obj = (
+            codec
+            if isinstance(codec, Codec)
+            else get_codec(codec, delta_pct=delta_pct)
+        )
+        blob = codec_obj.encode(originals[layer].ravel())
+        model.set_weights(
+            layer, codec_obj.decode(blob).reshape(originals[layer].shape)
+        )
 
     # 2. greedy assembly with joint re-measurement
     assignments: dict[str, float] = {}
@@ -145,26 +192,14 @@ def optimize_multilayer(
                 model.set_weights(cand.layer, originals[cand.layer])
             else:
                 originals[cand.layer] = model.get_weights(cand.layer).copy()
-            stream = compress_percent(
-                originals[cand.layer].ravel(), cand.delta_pct
-            )
-            model.set_weights(
-                cand.layer,
-                stream.decompress().reshape(originals[cand.layer].shape),
-            )
+            _apply(cand.layer, cand.delta_pct)
             acc = _acc(model, x_test, y_test, top_k)
             if baseline - acc <= max_accuracy_drop:
                 assignments[cand.layer] = cand.delta_pct
                 current_acc = acc
             else:  # revert
                 if cand.layer in assignments:
-                    prev = compress_percent(
-                        originals[cand.layer].ravel(), assignments[cand.layer]
-                    )
-                    model.set_weights(
-                        cand.layer,
-                        prev.decompress().reshape(originals[cand.layer].shape),
-                    )
+                    _apply(cand.layer, assignments[cand.layer])
                 else:
                     model.set_weights(cand.layer, originals.pop(cand.layer))
     finally:
@@ -172,8 +207,7 @@ def optimize_multilayer(
             model.set_weights(name, w)
 
     saving = sum(
-        _full_scale_saving(spec, name, delta, seed)
-        for name, delta in assignments.items()
+        saving_of(name, delta) for name, delta in assignments.items()
     )
     return MultiLayerPlan(
         assignments=assignments,

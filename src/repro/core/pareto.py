@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 __all__ = ["DesignPoint", "pareto_front", "dominates", "knee_point"]
 

@@ -7,6 +7,12 @@ accuracy*, returning one record per delta value.  The latency/energy leg
 of Fig. 8 (the simulation platform) lives in
 :mod:`repro.mapping.accelerator`; :mod:`repro.experiments.fig10_tradeoff`
 joins the two.
+
+Compression goes through the :mod:`repro.core.codecs` registry, so the
+same sweep runs under the paper's line-fit codec (the default), any of
+the lossless baselines, or a composed chain — the Tab. III stacking
+experiment is the ``"quantize-int8|<codec>"`` chain, which
+``quantize_first=True`` builds automatically.
 """
 
 from __future__ import annotations
@@ -17,9 +23,9 @@ import numpy as np
 
 from ..nn.graph import Model
 from ..nn.train import evaluate
-from .compression import CompressedStream, StorageFormat, compress_percent
+from .codecs import Codec, CompressedBlob, get_codec
+from .compression import StorageFormat
 from .layer_selection import select_layer_model
-from .quantization import quantize_tensor
 
 __all__ = ["DeltaRecord", "CompressionPipeline", "apply_compression"]
 
@@ -36,24 +42,58 @@ class DeltaRecord:
     num_segments: int
 
 
+def _layer_codec(
+    codec: str | Codec,
+    delta_pct: float,
+    fmt: StorageFormat | None = None,
+    quantize_first: bool = False,
+) -> Codec:
+    """Build the per-delta codec instance a sweep step uses.
+
+    A :class:`Codec` instance passes through untouched (its parameters,
+    including any tolerance, are fixed at construction).  A string spec
+    is instantiated at ``delta_pct``; with ``quantize_first`` the spec
+    is prefixed with the ``quantize-int8`` transform stage, and a
+    line-fit terminal switches to the int8 storage format (6 bytes per
+    segment against 1-byte weights — the Tab. III cost model).
+    """
+    if isinstance(codec, Codec):
+        return codec
+    params: dict = {"delta_pct": float(delta_pct)}
+    terminal = codec.rsplit("|", 1)[-1].strip()
+    if quantize_first:
+        codec = f"quantize-int8|{codec}"
+        if terminal == "linefit" and fmt is None:
+            fmt = StorageFormat.int8()
+    if fmt is not None:
+        if terminal != "linefit":
+            raise ValueError(
+                f"storage format applies to the linefit codec, not {terminal!r}"
+            )
+        params["fmt"] = fmt
+    return get_codec(codec, **params)
+
+
 def apply_compression(
     model: Model,
     layer_name: str,
     delta_pct: float,
     fmt: StorageFormat | None = None,
-) -> tuple[CompressedStream, np.ndarray]:
-    """Compress one layer in place; returns (stream, original weights).
+    codec: str | Codec = "linefit",
+) -> tuple[CompressedBlob, np.ndarray]:
+    """Compress one layer in place; returns (blob, original weights).
 
     The layer's weight tensor is replaced by the decompressed
     approximation (C-order round trip), exactly as the evaluation flow
     prescribes.  Callers restore with ``model.set_weights(layer_name,
-    original)``.
+    original)``.  ``codec`` is any registry spec or instance.
     """
     original = model.get_weights(layer_name).copy()
-    stream = compress_percent(original.ravel(), delta_pct, fmt=fmt)
-    approx = stream.decompress(dtype=np.float32).reshape(original.shape)
+    codec_obj = _layer_codec(codec, delta_pct, fmt=fmt)
+    blob = codec_obj.encode(original.ravel())
+    approx = codec_obj.decode(blob).reshape(original.shape)
     model.set_weights(layer_name, approx)
-    return stream, original
+    return blob, original
 
 
 class CompressionPipeline:
@@ -70,8 +110,14 @@ class CompressionPipeline:
         Compression target; defaults to the paper's selection policy.
     quantize_first:
         If True, the selected layer is int8-quantized before compression
-        (the Tab. III stacking experiment) and compression runs on the
-        int8 value stream with the int8 storage format.
+        (the Tab. III stacking experiment): the sweep runs the
+        ``"quantize-int8|<codec>"`` chain on the int8 value stream.
+    codec:
+        Registry spec of the compressor to sweep (default
+        ``"linefit"``, the paper's).  Lossless baselines (``"huffman"``,
+        ``"rle"``, ``"lz"``) run the identical flow with exact
+        reconstruction — CR ~= 1 and unchanged accuracy, the
+        quantitative form of the paper's Sec. III-B claim.
     """
 
     def __init__(
@@ -81,33 +127,26 @@ class CompressionPipeline:
         y_test: np.ndarray,
         layer_name: str | None = None,
         quantize_first: bool = False,
+        codec: str | Codec = "linefit",
     ) -> None:
         self.model = model
         self.x_test = x_test
         self.y_test = y_test
         self.layer_name = layer_name or select_layer_model(model)
         self.quantize_first = quantize_first
+        self.codec = codec
         self.baseline = evaluate(model, x_test, y_test)
 
     def run_delta(self, delta_pct: float) -> DeltaRecord:
         """Evaluate one delta value; the model is restored afterwards."""
         original = self.model.get_weights(self.layer_name).copy()
         try:
-            if self.quantize_first:
-                qt = quantize_tensor(original)
-                int8_stream = qt.values.astype(np.float32).ravel()
-                stream = compress_percent(
-                    int8_stream, delta_pct, fmt=StorageFormat.int8()
-                )
-                approx_q = stream.decompress(dtype=np.float32)
-                approx = (
-                    (approx_q - np.float32(qt.zero_point)) * np.float32(qt.scale)
-                ).reshape(original.shape)
-                mse = float(np.mean((approx - original.astype(np.float64)) ** 2))
-            else:
-                stream = compress_percent(original.ravel(), delta_pct)
-                approx = stream.decompress(dtype=np.float32).reshape(original.shape)
-                mse = stream.mse(original.ravel())
+            codec = _layer_codec(
+                self.codec, delta_pct, quantize_first=self.quantize_first
+            )
+            blob = codec.encode(original.ravel())
+            approx = codec.decode(blob).reshape(original.shape)
+            mse = codec.reconstruction_mse(blob, original.ravel())
             self.model.set_weights(self.layer_name, approx)
             result = evaluate(self.model, self.x_test, self.y_test)
         finally:
@@ -116,9 +155,9 @@ class CompressionPipeline:
             delta_pct=delta_pct,
             top1=result.top1,
             top5=result.top5,
-            cr=stream.compression_ratio,
+            cr=blob.compression_ratio,
             mse=mse,
-            num_segments=stream.num_segments,
+            num_segments=blob.num_segments,
         )
 
     def sweep(self, delta_grid) -> list[DeltaRecord]:

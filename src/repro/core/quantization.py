@@ -51,6 +51,10 @@ class QuantizedTensor:
 def quantize_tensor(weights: np.ndarray) -> QuantizedTensor:
     """Asymmetric per-tensor int8 quantization (TFLite convention)."""
     w = np.asarray(weights, dtype=np.float64)
+    if w.size == 0:
+        return QuantizedTensor(
+            values=np.zeros(w.shape, dtype=np.int8), scale=1.0, zero_point=0
+        )
     lo = float(min(w.min(), 0.0))
     hi = float(max(w.max(), 0.0))
     if hi == lo:

@@ -23,10 +23,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..analysis.report import render_table
-from ..core.compression import compress
+from ..core.codecs import LineFitCodec
 from ..core.pareto import DesignPoint, pareto_front
 from ..core.pipeline import CompressionPipeline
 from ..core.segmentation import delta_from_percent
@@ -95,13 +94,13 @@ def tradeoff_for(module, fast: bool = False, seed: int = 7) -> ModelTradeoff:
     points = []
     for pct in module.DELTA_GRID:
         # full-scale stream -> compression effect -> latency/energy
+        # (absolute delta from the FULL stream's range; see Tab. II note)
         delta = delta_from_percent(weights, pct)
-        stream = compress(stream_src, delta)
-        eff = acc_sim.compression_effect(stream)
+        blob = LineFitCodec(delta=float(delta)).encode(stream_src)
+        eff = acc_sim.compression_effect(blob)
         if stream_src.size != weights.size:
             # scale segment count up to the full stream for the effect
             scale = weights.size / stream_src.size
-            eff = acc_sim.compression_effect(stream)
             eff = type(eff)(
                 cr=eff.cr,
                 segments_total=int(eff.segments_total * scale),

@@ -19,9 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.report import render_table
-from ..core.compression import StorageFormat, compress_percent
+from ..core.codecs import get_codec
 from ..core.pipeline import CompressionPipeline
-from ..core.quantization import model_footprint, quantize_model, quantize_tensor
+from ..core.quantization import quantize_model, quantize_tensor
 from ..nn import zoo
 from ..nn.train import evaluate
 from .common import trained_proxy
@@ -77,7 +77,8 @@ def _full_scale_quant_cr(module, delta_pct: float, fast: bool) -> float:
     stream_src = qt.values.astype(np.float32)
     if fast and stream_src.size > _FAST_SLICE:
         stream_src = stream_src[:_FAST_SLICE]
-    cs = compress_percent(stream_src, delta_pct, fmt=StorageFormat.int8())
+    codec = get_codec("linefit", delta_pct=delta_pct, fmt="int8")
+    blob = codec.encode(stream_src)
 
     total = spec.total_params
     fp32_bytes = total * 4
@@ -89,7 +90,7 @@ def _full_scale_quant_cr(module, delta_pct: float, fast: bool) -> float:
     # when that is actually smaller (at delta=0 the 6-byte segments can
     # exceed the 1-byte int8 weights; a deployment keeps the smaller
     # encoding — the paper's own VGG +0% row shows the same expansion)
-    compressed_bytes = int(round(layer.weight_params / cs.compression_ratio))
+    compressed_bytes = int(round(layer.weight_params / blob.compression_ratio))
     quant_bytes -= layer.weight_params
     quant_bytes += min(compressed_bytes, layer.weight_params)
     return fp32_bytes / quant_bytes

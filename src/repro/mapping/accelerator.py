@@ -23,11 +23,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.codecs import Codec, CompressedBlob, get_codec
 from ..core.compression import CompressedStream
 from ..energy.model import EnergyAccount, EnergyBreakdown
 from ..energy.params import EnergyParams
 from ..nn.arch import ArchSpec, LayerKind, LayerSpec
-from ..noc.flit import TrafficClass
 from ..noc.memory_if import DramConfig, MemoryInterface, ReadJob
 from ..noc.mesh import Mesh
 from ..noc.pe import PEConfig, PETask, ProcessingElement
@@ -219,18 +219,27 @@ class Accelerator:
     def run_model(
         self,
         spec: ArchSpec,
-        compression: dict[str, CompressionEffect] | None = None,
+        compression: dict[str, CompressionEffect | CompressedBlob | CompressedStream]
+        | None = None,
         mode: str = "txn",
         weight_bytes_per_word: int = 4,
         batch: int = 1,
     ) -> ModelResult:
         """Run every traffic-bearing layer of a network.
 
-        ``compression`` maps layer names to their compression effects
-        (normally just the one layer the selection policy picked);
-        ``batch`` amortizes weight fetches over several inferences.
+        ``compression`` maps layer names to their compression effects;
+        entries may also be :class:`~repro.core.codecs.CompressedBlob`
+        or :class:`~repro.core.compression.CompressedStream` values,
+        which are normalized through :meth:`compression_effect` — so the
+        output of *any* registered codec plugs in directly.  ``batch``
+        amortizes weight fetches over several inferences.
         """
-        compression = compression or {}
+        compression = {
+            name: value
+            if isinstance(value, CompressionEffect)
+            else self.compression_effect(value)
+            for name, value in (compression or {}).items()
+        }
         unknown = set(compression) - {l.name for l in spec.layers}
         if unknown:
             raise ValueError(f"compression for unknown layers: {sorted(unknown)}")
@@ -248,11 +257,50 @@ class Accelerator:
         return ModelResult(model_name=spec.name, layers=results)
 
     def compression_effect(
-        self, stream: CompressedStream, units_per_pe: int | None = None
+        self,
+        stream: CompressedStream | CompressedBlob,
+        units_per_pe: int | None = None,
     ) -> CompressionEffect:
-        return CompressionEffect.from_stream(
-            stream,
-            units_per_pe=units_per_pe
+        """Effect of a compressed weight stream, from either API.
+
+        Accepts the legacy :class:`CompressedStream` (line-fit only) or
+        any codec's :class:`CompressedBlob`.
+        """
+        units = (
+            units_per_pe
             if units_per_pe is not None
-            else self.config.decompressor_units,
+            else self.config.decompressor_units
         )
+        if isinstance(stream, CompressedBlob):
+            return CompressionEffect.from_blob(stream, units_per_pe=units)
+        return CompressionEffect.from_stream(stream, units_per_pe=units)
+
+    def effects_for(
+        self,
+        spec: ArchSpec,
+        assignments: dict[str, float],
+        codec: str | Codec = "linefit",
+        seed: int = 0,
+    ) -> dict[str, CompressionEffect]:
+        """Build ``run_model``'s compression dict from delta assignments.
+
+        Materializes each assigned layer's full-scale weights, encodes
+        them with ``codec`` (any registry spec or instance; per-layer
+        deltas parameterize string specs) and returns the per-layer
+        effects — the bridge from :func:`repro.core.multilayer.
+        optimize_multilayer` output to the latency/energy simulation.
+        """
+        known = {l.name for l in spec.parametric_layers()}
+        unknown = set(assignments) - known
+        if unknown:
+            raise ValueError(f"assignments for unknown layers: {sorted(unknown)}")
+        effects = {}
+        for name, delta in assignments.items():
+            codec_obj = (
+                codec
+                if isinstance(codec, Codec)
+                else get_codec(codec, delta_pct=float(delta))
+            )
+            blob = codec_obj.encode(spec.materialize(name, seed=seed).ravel())
+            effects[name] = self.compression_effect(blob)
+        return effects

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.codecs import CompressedBlob
 from ..core.compression import CompressedStream
 from ..core.decompressor import DecompressorTiming
-from ..nn.arch import ArchSpec, LayerSpec
+from ..nn.arch import LayerSpec
 from ..noc.flit import TrafficClass
 from ..noc.mesh import Mesh
 from .tiling import LayerPlan, plan_layer
@@ -52,6 +53,20 @@ class CompressionEffect:
         return cls(
             cr=stream.compression_ratio,
             segments_total=stream.num_segments,
+            units_per_pe=units_per_pe,
+        )
+
+    @classmethod
+    def from_blob(cls, blob: CompressedBlob, units_per_pe: int = 8) -> "CompressionEffect":
+        """Effect of any registered codec's output (see ``repro.core.codecs``).
+
+        Lossless codecs report no segments, so their effect models a
+        volume-only change (weight fetch scaled by CR, zero per-segment
+        decompressor init cost).
+        """
+        return cls(
+            cr=blob.compression_ratio,
+            segments_total=blob.num_segments,
             units_per_pe=units_per_pe,
         )
 

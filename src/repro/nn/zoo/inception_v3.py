@@ -23,13 +23,11 @@ import numpy as np
 from ..arch import ArchBuilder, ArchSpec
 from ..graph import Model
 from ..layers import (
-    AvgPool2D,
-    BatchNorm2D,
+        BatchNorm2D,
     Concat,
     Conv2D,
     Dense,
-    Flatten,
-    GlobalAvgPool2D,
+        GlobalAvgPool2D,
     MaxPool2D,
     ReLU,
     Softmax,

@@ -24,8 +24,7 @@ from ..layers import (
     Conv2D,
     Dense,
     DepthwiseConv2D,
-    Flatten,
-    GlobalAvgPool2D,
+        GlobalAvgPool2D,
     ReLU,
     Softmax,
 )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .flit import Packet, TrafficClass
+from .flit import Packet
 from .mesh import OPPOSITE, Mesh
 from .nic import NetworkInterface
 from .router import LOCAL

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.roofline import LayerRoofline, machine_balance, roofline
+from repro.analysis.roofline import machine_balance, roofline
 from repro.core import compress_percent
 from repro.mapping import Accelerator
 from repro.nn import zoo

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import codec
+from repro.core.codec import CodecError
 from repro.core.compression import StorageFormat, compress_percent
 
 
@@ -70,3 +71,53 @@ class TestErrors:
         blob[4] = 99
         with pytest.raises(ValueError, match="version"):
             codec.decode(bytes(blob))
+
+
+class TestCodecErrorType:
+    """Every malformed payload raises the dedicated ``CodecError``.
+
+    ``CodecError`` subclasses ``ValueError``, so the legacy expectations
+    above keep holding; these pin the precise type per failure mode.
+    """
+
+    def _blob(self, rng, n=100) -> bytearray:
+        return bytearray(codec.encode(compress_percent(rng.normal(size=n), 0.0)))
+
+    def test_is_value_error_subclass(self):
+        assert issubclass(CodecError, ValueError)
+
+    def test_truncated_header(self):
+        with pytest.raises(CodecError, match="truncated"):
+            codec.decode(b"RWCS\x02")
+
+    def test_empty_buffer(self):
+        with pytest.raises(CodecError, match="truncated"):
+            codec.decode(b"")
+
+    def test_bad_magic(self, rng):
+        blob = self._blob(rng)
+        blob[:4] = b"NOPE"
+        with pytest.raises(CodecError, match="magic"):
+            codec.decode(bytes(blob))
+
+    def test_unknown_version(self, rng):
+        blob = self._blob(rng)
+        blob[4] = 77
+        with pytest.raises(CodecError, match="version"):
+            codec.decode(bytes(blob))
+
+    def test_unknown_flags(self, rng):
+        blob = self._blob(rng)
+        blob[5] |= 0x80  # a flag bit no writer ever sets
+        with pytest.raises(CodecError, match="flags"):
+            codec.decode(bytes(blob))
+
+    def test_truncated_body(self, rng):
+        blob = self._blob(rng)
+        with pytest.raises(CodecError, match="size mismatch"):
+            codec.decode(bytes(blob[:-1]))
+
+    def test_trailing_garbage(self, rng):
+        blob = self._blob(rng)
+        with pytest.raises(CodecError, match="size mismatch"):
+            codec.decode(bytes(blob) + b"\x00\x00")

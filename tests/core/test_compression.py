@@ -15,7 +15,6 @@ from repro.core.compression import (
     compress_percent,
     quantize_coefficient,
 )
-from repro.core.segmentation import delta_from_percent
 
 
 class TestStorageFormat:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.model_store import ModelArchive, compress_model, load_archive
+from repro.core.model_store import compress_model, load_archive
 from repro.datasets import train_test
 from repro.nn import TrainConfig, evaluate, train
 from repro.nn.zoo import lenet5

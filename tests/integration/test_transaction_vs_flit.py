@@ -7,7 +7,6 @@ paper's large-network results are produced with it.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import compress_percent

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.noc.flit import FLIT_BYTES, Flit, FlitType, Packet, TrafficClass, packetize
+from repro.noc.flit import FLIT_BYTES, FlitType, Packet, TrafficClass, packetize
 
 
 class TestPacket:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.noc.flit import FlitType, Packet, TrafficClass, packetize
+from repro.noc.flit import Packet, TrafficClass, packetize
 from repro.noc.nic import NetworkInterface
 
 

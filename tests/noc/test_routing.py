@@ -7,7 +7,7 @@ import pytest
 
 from repro.noc import Mesh, NocSimulator, Packet, TrafficClass
 from repro.noc.routing import ROUTING_ALGORITHMS, WestFirstRouting, XYRouting, YXRouting
-from repro.noc.router import EAST, LOCAL, NORTH, SOUTH, WEST
+from repro.noc.router import EAST, LOCAL, SOUTH, WEST
 from repro.noc.simulator import Node
 
 

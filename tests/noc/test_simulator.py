@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.noc import Mesh, NocSimulator, Node, Packet, TrafficClass
-from repro.noc.flit import FLIT_BYTES
 
 
 class Collector(Node):

@@ -3,7 +3,6 @@ tests/integration/test_transaction_vs_flit.py)."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.mapping.schedule import build_schedule
 from repro.noc.mesh import Mesh
