@@ -31,6 +31,15 @@ import numpy as np
 from ..nn.arch import ArchSpec
 from ..nn.graph import Model
 from ..nn.train import evaluate
+from ..runtime import (
+    GridTask,
+    ResultCache,
+    Timings,
+    codec_spec,
+    fingerprint_arrays,
+    result_key,
+    run_tasks,
+)
 from .codecs import Codec, get_codec
 from .pipeline import apply_compression
 
@@ -71,41 +80,48 @@ def _acc(model: Model, x, y, top_k: int) -> float:
     return res.top1 if top_k == 1 else res.top5
 
 
-class _FullScaleSaver:
-    """Memoized full-scale footprint savings.
+def _solo_accuracy(
+    model: Model,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    top_k: int,
+    layer: str,
+    delta_pct: float,
+    codec: str | Codec,
+) -> float:
+    """Accuracy with one (layer, delta) applied alone; restores the model.
 
-    The optimizer needs the saving of every candidate once while ranking
-    and again in the final summation loop; materializing and compressing
-    a full-scale layer is the dominant cost, so a ``(layer, delta)``
-    cache (plus a per-layer weights cache across deltas) roughly halves
-    optimizer wall-time.
+    Module-level so candidate generation can fan out over a process
+    pool; in-worker the model is a pickled private copy, serially the
+    ``finally`` puts the caller's weights back.
     """
+    _, original = apply_compression(model, layer, float(delta_pct), codec=codec)
+    try:
+        return _acc(model, x_test, y_test, top_k)
+    finally:
+        model.set_weights(layer, original)
 
-    def __init__(self, spec: ArchSpec, codec: str | Codec, seed: int) -> None:
-        self._spec = spec
-        self._codec = codec
-        self._seed = seed
-        self._weights: dict[str, np.ndarray] = {}
-        self._savings: dict[tuple[str, float], int] = {}
 
-    def _layer_weights(self, layer: str) -> np.ndarray:
-        if layer not in self._weights:
-            self._weights[layer] = self._spec.materialize(
-                layer, seed=self._seed
-            ).ravel()
-        return self._weights[layer]
+def _layer_savings(
+    spec: ArchSpec, layer: str, deltas: tuple[float, ...], codec: str | Codec, seed: int
+) -> list[int]:
+    """Full-scale footprint savings of one layer across a delta grid.
 
-    def __call__(self, layer: str, delta_pct: float) -> int:
-        key = (layer, float(delta_pct))
-        if key not in self._savings:
-            codec = (
-                self._codec
-                if isinstance(self._codec, Codec)
-                else get_codec(self._codec, delta_pct=float(delta_pct))
-            )
-            blob = codec.encode(self._layer_weights(layer))
-            self._savings[key] = max(0, blob.original_bytes - blob.compressed_bytes)
-        return self._savings[key]
+    Grouped per layer so the expensive ``materialize`` runs once per
+    task, whatever the grid size (the role the old in-process memoizer
+    played, now compatible with pool fan-out).
+    """
+    weights = spec.materialize(layer, seed=seed).ravel()
+    savings = []
+    for delta_pct in deltas:
+        codec_obj = (
+            codec
+            if isinstance(codec, Codec)
+            else get_codec(codec, delta_pct=float(delta_pct))
+        )
+        blob = codec_obj.encode(weights)
+        savings.append(max(0, blob.original_bytes - blob.compressed_bytes))
+    return savings
 
 
 def optimize_multilayer(
@@ -119,6 +135,9 @@ def optimize_multilayer(
     min_depth_fraction: float = 0.4,
     seed: int = 0,
     codec: str | Codec = "linefit",
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    timings: Timings | None = None,
 ) -> MultiLayerPlan:
     """Greedy multi-layer delta assignment under an accuracy budget.
 
@@ -127,11 +146,15 @@ def optimize_multilayer(
     in *both* and deep enough (per ``min_depth_fraction``, following the
     sensitivity analysis) are considered.  ``codec`` selects the
     compressor from the :mod:`repro.core.codecs` registry.
+
+    Candidate generation — the ``(layer x delta)`` solo-accuracy grid
+    and the per-layer full-scale savings — fans out over the
+    :mod:`repro.runtime` pool and result cache; the greedy assembly
+    stays serial (each step depends on the previous acceptance).
     """
     if max_accuracy_drop < 0:
         raise ValueError("max_accuracy_drop must be non-negative")
     baseline = _acc(model, x_test, y_test, top_k)
-    saving_of = _FullScaleSaver(spec, codec, seed)
 
     full_layers = {l.name: l for l in spec.parametric_layers()}
     max_depth = max(l.depth for l in full_layers.values())
@@ -144,23 +167,75 @@ def optimize_multilayer(
     if not eligible:
         raise ValueError("no eligible layers shared between proxy and spec")
 
-    # 1. candidates: solo accuracy drop + full-scale saving
-    candidates: list[Candidate] = []
-    for name in eligible:
-        for delta in delta_grid:
-            _, original = apply_compression(model, name, float(delta), codec=codec)
-            drop = baseline - _acc(model, x_test, y_test, top_k)
-            model.set_weights(name, original)
-            if drop > max_accuracy_drop:
-                continue  # infeasible even alone
-            candidates.append(
-                Candidate(
-                    layer=name,
-                    delta_pct=float(delta),
-                    saving_bytes=saving_of(name, float(delta)),
-                    solo_drop=drop,
-                )
+    # 1a. solo accuracy of every (layer, delta) grid point
+    grid = [(name, float(delta)) for name in eligible for delta in delta_grid]
+    acc_base: dict | None = None
+    if cache is not None:
+        state = model.state_dict()
+        acc_base = {
+            "model_state": fingerprint_arrays(*(state[k] for k in sorted(state))),
+            "eval_set": fingerprint_arrays(x_test, y_test),
+            "codec": codec_spec(codec),
+            "top_k": int(top_k),
+        }
+    acc_tasks = [
+        GridTask(
+            fn=_solo_accuracy,
+            args=(model, x_test, y_test, top_k, name, delta, codec),
+            key=result_key("solo-acc", layer=name, delta_pct=delta, **acc_base)
+            if acc_base is not None
+            else None,
+        )
+        for name, delta in grid
+    ]
+    solo_acc = dict(
+        zip(grid, run_tasks(acc_tasks, jobs=jobs, cache=cache, timings=timings))
+    )
+    drops = {point: baseline - acc for point, acc in solo_acc.items()}
+
+    # 1b. full-scale savings, only for the feasible grid points, grouped
+    # per layer so each task materializes its layer once
+    feasible: dict[str, list[float]] = {}
+    for name, delta in grid:
+        if drops[(name, delta)] <= max_accuracy_drop:
+            feasible.setdefault(name, []).append(delta)
+    saving_tasks = [
+        GridTask(
+            fn=_layer_savings,
+            args=(spec, name, tuple(deltas), codec, seed),
+            # savings are generator-addressed: ``materialize`` is
+            # deterministic in (spec, layer, seed), so those stand in
+            # for the full-scale stream bytes
+            key=result_key(
+                "fullscale-savings",
+                spec=spec.name,
+                total_params=spec.total_params,
+                layer=name,
+                deltas=tuple(deltas),
+                codec=codec_spec(codec),
+                seed=int(seed),
             )
+            if cache is not None
+            else None,
+        )
+        for name, deltas in feasible.items()
+    ]
+    layer_savings = run_tasks(saving_tasks, jobs=jobs, cache=cache, timings=timings)
+    saving_lookup: dict[tuple[str, float], int] = {}
+    for (name, deltas), savings in zip(feasible.items(), layer_savings):
+        for delta, saving in zip(deltas, savings):
+            saving_lookup[(name, delta)] = int(saving)
+
+    candidates = [
+        Candidate(
+            layer=name,
+            delta_pct=delta,
+            saving_bytes=saving_lookup[(name, delta)],
+            solo_drop=drops[(name, delta)],
+        )
+        for name, delta in grid
+        if (name, delta) in saving_lookup
+    ]
     # best (highest saving) candidate per layer first, ranked by
     # saving per unit of (clamped) solo drop
     candidates.sort(
@@ -207,7 +282,7 @@ def optimize_multilayer(
             model.set_weights(name, w)
 
     saving = sum(
-        saving_of(name, delta) for name, delta in assignments.items()
+        saving_lookup[(name, delta)] for name, delta in assignments.items()
     )
     return MultiLayerPlan(
         assignments=assignments,

@@ -23,6 +23,16 @@ import numpy as np
 
 from ..nn.graph import Model
 from ..nn.train import evaluate
+from ..runtime import (
+    GridTask,
+    ResultCache,
+    Timings,
+    codec_spec,
+    fingerprint_array,
+    fingerprint_arrays,
+    result_key,
+    run_tasks,
+)
 from .codecs import Codec, CompressedBlob, get_codec
 from .compression import StorageFormat
 from .layer_selection import select_layer_model
@@ -72,6 +82,16 @@ def _layer_codec(
             )
         params["fmt"] = fmt
     return get_codec(codec, **params)
+
+
+def _sweep_point(pipeline: "CompressionPipeline", delta_pct: float) -> DeltaRecord:
+    """One sweep grid point; module-level so process pools can pickle it.
+
+    In-worker the pipeline is a private copy, so the mutate-and-restore
+    inside :meth:`CompressionPipeline.run_delta` cannot race; serially
+    it is the caller's object and ``run_delta`` restores it as always.
+    """
+    return pipeline.run_delta(delta_pct)
 
 
 def apply_compression(
@@ -136,6 +156,33 @@ class CompressionPipeline:
         self.quantize_first = quantize_first
         self.codec = codec
         self.baseline = evaluate(model, x_test, y_test)
+        self._fingerprint: dict | None = None
+
+    def cache_fingerprint(self) -> dict:
+        """Content identity of this sweep configuration.
+
+        Everything a :class:`DeltaRecord` depends on besides the delta
+        itself: the compressed layer's weight stream, the *full* model
+        state (accuracy is a whole-model property), the evaluation set,
+        and the codec configuration.  Computed once and reused for every
+        grid point's :func:`repro.runtime.result_key`.
+        """
+        if self._fingerprint is None:
+            state = self.model.state_dict()
+            self._fingerprint = {
+                "weights": fingerprint_array(
+                    self.model.get_weights(self.layer_name)
+                ),
+                "model_state": fingerprint_arrays(
+                    *(state[k] for k in sorted(state))
+                ),
+                "eval_set": fingerprint_arrays(self.x_test, self.y_test),
+                "codec": codec_spec(self.codec),
+                "quantize_first": bool(self.quantize_first),
+                "fmt": None,
+                "layer": self.layer_name,
+            }
+        return self._fingerprint
 
     def run_delta(self, delta_pct: float) -> DeltaRecord:
         """Evaluate one delta value; the model is restored afterwards."""
@@ -160,6 +207,30 @@ class CompressionPipeline:
             num_segments=blob.num_segments,
         )
 
-    def sweep(self, delta_grid) -> list[DeltaRecord]:
-        """Run the full delta sweep of Tab. II / Fig. 10."""
-        return [self.run_delta(float(d)) for d in delta_grid]
+    def sweep(
+        self,
+        delta_grid,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        timings: Timings | None = None,
+    ) -> list[DeltaRecord]:
+        """Run the full delta sweep of Tab. II / Fig. 10.
+
+        Grid points are independent, so the sweep fans out over a
+        process pool (``jobs=`` kwarg, else the ``REPRO_JOBS`` env var,
+        else serial) and consults the content-addressed ``cache``
+        before dispatch.  Serial, parallel, and warm-cache runs return
+        identical records.
+        """
+        deltas = [float(d) for d in delta_grid]
+        keys: list[str | None] = [None] * len(deltas)
+        if cache is not None:
+            base = self.cache_fingerprint()
+            keys = [
+                result_key("delta-record", delta_pct=d, **base) for d in deltas
+            ]
+        tasks = [
+            GridTask(fn=_sweep_point, args=(self, d), key=k)
+            for d, k in zip(deltas, keys)
+        ]
+        return run_tasks(tasks, jobs=jobs, cache=cache, timings=timings)

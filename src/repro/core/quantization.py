@@ -62,6 +62,12 @@ def quantize_tensor(weights: np.ndarray) -> QuantizedTensor:
             values=np.zeros(w.shape, dtype=np.int8), scale=1.0, zero_point=0
         )
     scale = (hi - lo) / (_QMAX - _QMIN)
+    if scale == 0.0:
+        # range below float64 subnormal resolution: every value rounds
+        # to the same code, same as the hi == lo degenerate case
+        return QuantizedTensor(
+            values=np.zeros(w.shape, dtype=np.int8), scale=1.0, zero_point=0
+        )
     zero_point = int(round(_QMIN - lo / scale))
     zero_point = int(np.clip(zero_point, _QMIN, _QMAX))
     q = np.clip(np.round(w / scale) + zero_point, _QMIN, _QMAX).astype(np.int8)

@@ -52,7 +52,7 @@ def _smooth_field(rng: np.random.Generator, c: int, h: int, w: int, k: int) -> n
 
 def make_synth_images(
     n: int,
-    config: SynthImageConfig = SynthImageConfig(),
+    config: SynthImageConfig | None = None,
     seed: int = 0,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Generate ``n`` labelled images, shape ``(n, C, H, W)``, float32.
@@ -61,6 +61,7 @@ def make_synth_images(
     train/test splits built from different sample seeds share classes:
     use :func:`train_test` in :mod:`repro.datasets.loaders` for that.
     """
+    config = config if config is not None else SynthImageConfig()
     c, h, w = config.channels, config.size, config.size
     proto_rng = np.random.default_rng(seed ^ 0x5EED)
     prototypes = np.stack(

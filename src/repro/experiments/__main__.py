@@ -5,13 +5,23 @@ Usage::
     python -m repro.experiments            # run everything
     python -m repro.experiments fig2 tab2  # run selected artifacts
     REPRO_FAST=1 python -m repro.experiments   # reduced workloads
+    REPRO_JOBS=8 python -m repro.experiments   # fan sweeps over 8 workers
+
+Sweep experiments (Tab. II, Tab. III, Fig. 10) run through the
+:mod:`repro.runtime` grid runner: ``REPRO_JOBS`` sets the worker count,
+results land in the content-addressed cache next to the trained
+weights, and each experiment prints its task/cache/timing counters — a
+warm rerun shows ``tasks_run=0``.  ``REPRO_RESULT_CACHE=0`` forces cold
+runs.
 """
 
 from __future__ import annotations
 
+import inspect
 import sys
 import time
 
+from ..runtime import ResultCache, Timings
 from . import ALL_EXPERIMENTS
 from .common import is_fast
 
@@ -25,10 +35,21 @@ def main(argv: list[str]) -> int:
     fast = is_fast()
     for name in names:
         module = ALL_EXPERIMENTS[name]
+        accepted = inspect.signature(module.run).parameters
+        kwargs = {}
+        timings = None
+        if "cache" in accepted:
+            kwargs["cache"] = ResultCache()
+        if "timings" in accepted:
+            timings = Timings()
+            kwargs["timings"] = timings
         start = time.time()
-        result = module.run(fast=fast)
+        result = module.run(fast=fast, **kwargs)
         print(module.render(result))
-        print(f"[{name}: {time.time() - start:.1f}s{' fast' if fast else ''}]\n")
+        line = f"[{name}: {time.time() - start:.1f}s{' fast' if fast else ''}"
+        if timings is not None:
+            line += f"  {timings.summary()}"
+        print(line + "]\n")
     return 0
 
 

@@ -140,7 +140,11 @@ def trained_proxy(
         acc = res.top1 if top_k == 1 else res.top5
         if acc > best_acc:
             best_acc = acc
-            best_state = [p.data.copy() for p in model.params()]
+            # snapshot the FULL state, not just params(): batch-norm
+            # running statistics must travel with the weights they were
+            # estimated under, or a later (worse) stage leaves its own
+            # buffers behind the restored best-stage parameters
+            best_state = {k: v.copy() for k, v in model.state_dict().items()}
         if acc > 0.9:
             break
         if prev_acc > 4 * chance and acc - prev_acc < 0.02:
@@ -149,8 +153,7 @@ def trained_proxy(
             model = module.proxy(np.random.default_rng(seed))
         prev_acc = acc
     if best_state is not None:
-        for p, w in zip(model.params(), best_state):
-            p.data = w
+        model.load_state_dict(best_state)
     if use_cache:
         _save_weights(model, path)
     return model, split

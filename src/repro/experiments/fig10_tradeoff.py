@@ -27,10 +27,19 @@ from dataclasses import dataclass
 from ..analysis.report import render_table
 from ..core.codecs import LineFitCodec
 from ..core.pareto import DesignPoint, pareto_front
-from ..core.pipeline import CompressionPipeline
+from ..core.pipeline import CompressionPipeline, _sweep_point
 from ..core.segmentation import delta_from_percent
 from ..mapping import Accelerator
+from ..mapping.accelerator import ModelResult
 from ..nn import zoo
+from ..runtime import (
+    GridTask,
+    ResultCache,
+    Timings,
+    fingerprint_array,
+    result_key,
+    run_tasks,
+)
 from .common import trained_proxy
 
 __all__ = ["TradeoffPoint", "ModelTradeoff", "run", "render", "main"]
@@ -71,46 +80,98 @@ def _accuracy_of(record, top_k: int) -> float:
     return record.top1 if top_k == 1 else record.top5
 
 
-def tradeoff_for(module, fast: bool = False, seed: int = 7) -> ModelTradeoff:
+def _sim_mode(module, fast: bool) -> str:
+    return "flit" if (module is zoo.lenet5 and not fast) else "txn"
+
+
+def _fig10_sim(model_name: str, pct: float | None, fast: bool) -> ModelResult:
+    """Accelerator latency/energy of one grid point (``pct=None`` is the
+    uncompressed baseline).  Module-level and re-deriving everything
+    from ``(model name, pct, fast)``, so pool tasks ship three scalars
+    instead of a full-scale weight stream.
+    """
+    module = zoo.BY_NAME[model_name]
     spec = module.full()
     layer = module.SELECTED_LAYER
-    weights = spec.materialize(layer).ravel()
     acc_sim = Accelerator()
-    mode = "flit" if (module is zoo.lenet5 and not fast) else "txn"
+    mode = _sim_mode(module, fast)
+    if pct is None:
+        return acc_sim.run_model(spec, mode=mode)
 
-    base = acc_sim.run_model(spec, mode=mode)
-    base_lat = base.total_latency.total
-    base_en = base.total_energy.total
+    # full-scale stream -> compression effect -> latency/energy
+    # (absolute delta from the FULL stream's range; see Tab. II note)
+    weights = spec.materialize(layer).ravel()
+    stream_src = weights
+    if fast and weights.size > _FAST_SLICE:
+        stream_src = weights[:_FAST_SLICE]
+    delta = delta_from_percent(weights, pct)
+    blob = LineFitCodec(delta=float(delta)).encode(stream_src)
+    eff = acc_sim.compression_effect(blob)
+    if stream_src.size != weights.size:
+        # scale segment count up to the full stream for the effect
+        scale = weights.size / stream_src.size
+        eff = type(eff)(
+            cr=eff.cr,
+            segments_total=int(eff.segments_total * scale),
+            units_per_pe=eff.units_per_pe,
+        )
+    return acc_sim.run_model(spec, {layer: eff}, mode=mode)
 
+
+def tradeoff_for(
+    module,
+    fast: bool = False,
+    seed: int = 7,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    timings: Timings | None = None,
+) -> ModelTradeoff:
+    layer = module.SELECTED_LAYER
     model, split = trained_proxy(module, seed=seed, fast=fast)
     pipeline = CompressionPipeline(model, split.x_test, split.y_test)
     top_k = module.TOP_K
     baseline_acc = _accuracy_of(pipeline.baseline, top_k)
 
-    stream_src = weights
-    if fast and weights.size > _FAST_SLICE:
-        stream_src = weights[:_FAST_SLICE]
+    deltas = [float(pct) for pct in module.DELTA_GRID]
+    sim_keys: list[str | None] = [None] * (1 + len(deltas))
+    acc_keys: list[str | None] = [None] * len(deltas)
+    if cache is not None:
+        weights = module.full().materialize(layer).ravel()
+        sim_base = {
+            "weights": fingerprint_array(weights),
+            "fast": bool(fast),
+            "mode": _sim_mode(module, fast),
+            "codec": "linefit",
+            "layer": layer,
+        }
+        sim_keys = [
+            result_key("accel-run", delta_pct=pct, **sim_base)
+            for pct in (None, *deltas)
+        ]
+        acc_base = pipeline.cache_fingerprint()
+        # same key space as CompressionPipeline.sweep: the accuracy leg
+        # of Fig. 10 shares cache entries with standalone sweeps
+        acc_keys = [
+            result_key("delta-record", delta_pct=pct, **acc_base) for pct in deltas
+        ]
+
+    # one grid: the baseline run, per-delta accelerator runs, and
+    # per-delta proxy evaluations all fan out together
+    tasks = [
+        GridTask(fn=_fig10_sim, args=(module.NAME, pct, fast), key=k)
+        for pct, k in zip((None, *deltas), sim_keys)
+    ] + [
+        GridTask(fn=_sweep_point, args=(pipeline, pct), key=k)
+        for pct, k in zip(deltas, acc_keys)
+    ]
+    results = run_tasks(tasks, jobs=jobs, cache=cache, timings=timings)
+    base, sims = results[0], results[1 : 1 + len(deltas)]
+    records = results[1 + len(deltas) :]
+    base_lat = base.total_latency.total
+    base_en = base.total_energy.total
 
     points = []
-    for pct in module.DELTA_GRID:
-        # full-scale stream -> compression effect -> latency/energy
-        # (absolute delta from the FULL stream's range; see Tab. II note)
-        delta = delta_from_percent(weights, pct)
-        blob = LineFitCodec(delta=float(delta)).encode(stream_src)
-        eff = acc_sim.compression_effect(blob)
-        if stream_src.size != weights.size:
-            # scale segment count up to the full stream for the effect
-            scale = weights.size / stream_src.size
-            eff = type(eff)(
-                cr=eff.cr,
-                segments_total=int(eff.segments_total * scale),
-                units_per_pe=eff.units_per_pe,
-            )
-        res = acc_sim.run_model(spec, {layer: eff}, mode=mode)
-
-        # proxy network -> accuracy at the same delta percentage
-        record = pipeline.run_delta(pct)
-
+    for pct, res, record in zip(deltas, sims, records):
         lat = res.total_latency
         en = res.total_energy
         points.append(
@@ -138,9 +199,18 @@ def tradeoff_for(module, fast: bool = False, seed: int = 7) -> ModelTradeoff:
     )
 
 
-def run(fast: bool = False, models=None) -> list[ModelTradeoff]:
+def run(
+    fast: bool = False,
+    models=None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    timings: Timings | None = None,
+) -> list[ModelTradeoff]:
     modules = models if models is not None else zoo.ALL_MODELS
-    return [tradeoff_for(m, fast=fast) for m in modules]
+    return [
+        tradeoff_for(m, fast=fast, jobs=jobs, cache=cache, timings=timings)
+        for m in modules
+    ]
 
 
 def render(results: list[ModelTradeoff]) -> str:

@@ -25,10 +25,18 @@ import numpy as np
 
 from ..analysis.report import render_table
 from ..core.codecs import get_codec
-from ..core.compression import compress
+from ..core.compression import StorageFormat, compress
 from ..core.metrics import CompressionReport, layer_report
 from ..core.segmentation import delta_from_percent
 from ..nn import zoo
+from ..runtime import (
+    GridTask,
+    ResultCache,
+    Timings,
+    fingerprint_array,
+    result_key,
+    run_tasks,
+)
 
 __all__ = ["ModelSweep", "cross_codec_crs", "run", "render", "main", "PAPER"]
 
@@ -105,44 +113,110 @@ def cross_codec_crs(
     return crs
 
 
-def sweep_model(module, fast: bool = False, seed: int = 0) -> ModelSweep:
-    spec = module.full()
-    layer = module.SELECTED_LAYER
-    weights = spec.materialize(layer, seed=seed).ravel()
-    total_params = spec.total_params
-    layer_params = weights.size
+def _layer_stream(module, seed: int, fast: bool):
+    """(full weights, evaluation stream) of the selected layer.
 
+    Workers re-derive this from ``(model name, seed, fast)`` —
+    ``ArchSpec.materialize`` is deterministic, so shipping three scalars
+    to a pool worker beats pickling a multi-hundred-MB stream per task.
+    """
+    spec = module.full()
+    weights = spec.materialize(module.SELECTED_LAYER, seed=seed).ravel()
     stream = weights
     if fast and weights.size > _FAST_SLICE:
         stream = weights[:_FAST_SLICE]
-    reports = []
-    for pct in module.DELTA_GRID:
-        delta = delta_from_percent(weights, pct)  # range of the FULL stream
-        cs = compress(stream, delta)
-        report = layer_report(cs, stream, total_params=total_params, delta_pct=pct)
-        if stream.size != layer_params:
-            # rescale the whole-model figures for the sliced evaluation
-            from ..core.metrics import footprint_ratio, param_weighted_cr
+    return spec, weights, stream
 
-            fp = footprint_ratio(total_params, layer_params, report.cr)
-            report = CompressionReport(
-                delta_pct=pct,
-                cr=report.cr,
-                weighted_cr=param_weighted_cr(total_params, layer_params, report.cr),
-                mem_fp_reduction=1 - 1 / fp,
-                mse=report.mse,
-            )
-        reports.append(report)
+
+def _tab2_report(
+    model_name: str, seed: int, fast: bool, pct: float
+) -> CompressionReport:
+    """One Tab. II grid point (module-level: pool-picklable)."""
+    module = zoo.BY_NAME[model_name]
+    spec, weights, stream = _layer_stream(module, seed, fast)
+    total_params = spec.total_params
+    layer_params = weights.size
+    delta = delta_from_percent(weights, pct)  # range of the FULL stream
+    cs = compress(stream, delta)
+    report = layer_report(cs, stream, total_params=total_params, delta_pct=pct)
+    if stream.size != layer_params:
+        # rescale the whole-model figures for the sliced evaluation
+        from ..core.metrics import footprint_ratio, param_weighted_cr
+
+        fp = footprint_ratio(total_params, layer_params, report.cr)
+        report = CompressionReport(
+            delta_pct=pct,
+            cr=report.cr,
+            weighted_cr=param_weighted_cr(total_params, layer_params, report.cr),
+            mem_fp_reduction=1 - 1 / fp,
+            mse=report.mse,
+        )
+    return report
+
+
+def _tab2_codec_cr(
+    model_name: str, seed: int, fast: bool, codec_name: str, cap: int | None
+) -> float:
+    """One cross-codec comparison cell (module-level: pool-picklable)."""
+    module = zoo.BY_NAME[model_name]
+    _, _, stream = _layer_stream(module, seed, fast)
+    return cross_codec_crs(stream, {codec_name: cap})[codec_name]
+
+
+def sweep_model(
+    module,
+    fast: bool = False,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    timings: Timings | None = None,
+) -> ModelSweep:
+    deltas = [float(pct) for pct in module.DELTA_GRID]
+    report_keys: list[str | None] = [None] * len(deltas)
+    codec_keys: list[str | None] = [None] * len(_CODEC_COLUMN)
+    if cache is not None:
+        _, weights, _ = _layer_stream(module, seed, fast)
+        base = {
+            "weights": fingerprint_array(weights),
+            "fast": bool(fast),
+            "fmt": StorageFormat(),
+        }
+        report_keys = [
+            result_key("tab2-report", delta_pct=pct, codec="linefit", **base)
+            for pct in deltas
+        ]
+        codec_keys = [
+            result_key("tab2-codec-cr", codec=name, cap=cap, **base)
+            for name, cap in _CODEC_COLUMN.items()
+        ]
+    tasks = [
+        GridTask(fn=_tab2_report, args=(module.NAME, seed, fast, pct), key=k)
+        for pct, k in zip(deltas, report_keys)
+    ] + [
+        GridTask(fn=_tab2_codec_cr, args=(module.NAME, seed, fast, name, cap), key=k)
+        for (name, cap), k in zip(_CODEC_COLUMN.items(), codec_keys)
+    ]
+    results = run_tasks(tasks, jobs=jobs, cache=cache, timings=timings)
+    reports = results[: len(deltas)]
+    codec_crs = dict(zip(_CODEC_COLUMN, results[len(deltas) :]))
     return ModelSweep(
         model=module.NAME,
-        layer=layer,
+        layer=module.SELECTED_LAYER,
         reports=reports,
-        codec_crs=cross_codec_crs(stream),
+        codec_crs=codec_crs,
     )
 
 
-def run(fast: bool = False) -> list[ModelSweep]:
-    return [sweep_model(m, fast=fast) for m in zoo.ALL_MODELS]
+def run(
+    fast: bool = False,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    timings: Timings | None = None,
+) -> list[ModelSweep]:
+    return [
+        sweep_model(m, fast=fast, jobs=jobs, cache=cache, timings=timings)
+        for m in zoo.ALL_MODELS
+    ]
 
 
 def render(sweeps: list[ModelSweep]) -> str:

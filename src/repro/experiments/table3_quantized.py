@@ -24,6 +24,7 @@ from ..core.pipeline import CompressionPipeline
 from ..core.quantization import quantize_model, quantize_tensor
 from ..nn import zoo
 from ..nn.train import evaluate
+from ..runtime import GridTask, ResultCache, Timings, result_key, run_tasks
 from .common import trained_proxy
 
 __all__ = ["QuantRow", "ModelQuantSweep", "run", "render", "main", "PAPER"]
@@ -104,7 +105,30 @@ def _qt_baseline_cr(module) -> float:
     return (total * 4) / (weight_params + bias_params * 4)
 
 
-def sweep_model(module, fast: bool = False, seed: int = 7) -> ModelQuantSweep:
+def _tab3_row(
+    pipeline: CompressionPipeline, model_name: str, pct: float, fast: bool, top_k: int
+) -> QuantRow:
+    """One Tab. III grid point: proxy accuracy at ``pct`` on the
+    quantized model, plus the full-scale stacked weighted CR
+    (module-level: pool-picklable)."""
+    module = zoo.BY_NAME[model_name]
+    record = pipeline.run_delta(float(pct))
+    acc = record.top1 if top_k == 1 else record.top5
+    return QuantRow(
+        delta_pct=float(pct),
+        weighted_cr=_full_scale_quant_cr(module, float(pct), fast),
+        accuracy=acc,
+    )
+
+
+def sweep_model(
+    module,
+    fast: bool = False,
+    seed: int = 7,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    timings: Timings | None = None,
+) -> ModelQuantSweep:
     model, split = trained_proxy(module, seed=seed, fast=fast)
     top_k = module.TOP_K
 
@@ -124,17 +148,21 @@ def sweep_model(module, fast: bool = False, seed: int = 7) -> ModelQuantSweep:
     pipeline = CompressionPipeline(
         model, split.x_test, split.y_test, quantize_first=True
     )
-    rows = []
-    for pct in _DELTAS[module.NAME]:
-        record = pipeline.run_delta(float(pct))
-        acc = record.top1 if top_k == 1 else record.top5
-        rows.append(
-            QuantRow(
-                delta_pct=float(pct),
-                weighted_cr=_full_scale_quant_cr(module, float(pct), fast),
-                accuracy=acc,
+    deltas = [float(pct) for pct in _DELTAS[module.NAME]]
+    keys: list[str | None] = [None] * len(deltas)
+    if cache is not None:
+        base = pipeline.cache_fingerprint()
+        keys = [
+            result_key(
+                "tab3-row", delta_pct=pct, model=module.NAME, fast=bool(fast), **base
             )
-        )
+            for pct in deltas
+        ]
+    tasks = [
+        GridTask(fn=_tab3_row, args=(pipeline, module.NAME, pct, fast, top_k), key=k)
+        for pct, k in zip(deltas, keys)
+    ]
+    rows = run_tasks(tasks, jobs=jobs, cache=cache, timings=timings)
     # restore the fp32 proxy weights
     for name, w in originals.items():
         model.set_weights(name, w)
@@ -146,8 +174,16 @@ def sweep_model(module, fast: bool = False, seed: int = 7) -> ModelQuantSweep:
     )
 
 
-def run(fast: bool = False) -> list[ModelQuantSweep]:
-    return [sweep_model(m, fast=fast) for m in _MODULES]
+def run(
+    fast: bool = False,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    timings: Timings | None = None,
+) -> list[ModelQuantSweep]:
+    return [
+        sweep_model(m, fast=fast, jobs=jobs, cache=cache, timings=timings)
+        for m in _MODULES
+    ]
 
 
 def render(results: list[ModelQuantSweep]) -> str:

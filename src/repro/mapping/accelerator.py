@@ -95,9 +95,12 @@ class ModelResult:
 
 
 class Accelerator:
-    def __init__(self, config: AcceleratorConfig = AcceleratorConfig()) -> None:
-        self.config = config
-        self._txn = TransactionModel(self._make_mesh(), config.dram)
+    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+        # None sentinel, not an instantiated default: a call-site default
+        # would be evaluated once at import and shared (with its
+        # DramConfig/PEConfig/EnergyParams children) by every instance
+        self.config = config if config is not None else AcceleratorConfig()
+        self._txn = TransactionModel(self._make_mesh(), self.config.dram)
 
     def _make_mesh(self) -> Mesh:
         c = self.config

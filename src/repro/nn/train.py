@@ -60,11 +60,12 @@ def train(
     model: Model,
     x: np.ndarray,
     y: np.ndarray,
-    config: TrainConfig = TrainConfig(),
+    config: TrainConfig | None = None,
     x_val: np.ndarray | None = None,
     y_val: np.ndarray | None = None,
 ) -> list[float]:
     """Train with SGD + softmax cross-entropy; returns per-epoch losses."""
+    config = config if config is not None else TrainConfig()
     loss_fn = SoftmaxCrossEntropy()
     opt = SGD(
         model.params(),

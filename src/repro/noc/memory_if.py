@@ -64,9 +64,9 @@ class ReadJob:
 
 
 class MemoryInterface(Node):
-    def __init__(self, node_id: int, config: DramConfig = DramConfig()) -> None:
+    def __init__(self, node_id: int, config: DramConfig | None = None) -> None:
         super().__init__(node_id)
-        self.config = config
+        self.config = config if config is not None else DramConfig()
         self._read_queue: deque[ReadJob] = deque()
         self._write_queue: deque[int] = deque()  # byte counts
         self._busy_until = 0

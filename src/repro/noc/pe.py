@@ -52,9 +52,9 @@ class PETask:
 
 
 class ProcessingElement(Node):
-    def __init__(self, node_id: int, config: PEConfig = PEConfig()) -> None:
+    def __init__(self, node_id: int, config: PEConfig | None = None) -> None:
         super().__init__(node_id)
-        self.config = config
+        self.config = config if config is not None else PEConfig()
         self.task: PETask | None = None
         self._got_weight = 0
         self._got_ifmap = 0

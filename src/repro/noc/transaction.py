@@ -65,11 +65,11 @@ class TransactionModel:
     def __init__(
         self,
         mesh: Mesh | None = None,
-        dram: DramConfig = DramConfig(),
+        dram: DramConfig | None = None,
         dram_chunk_bytes: int = DRAM_CHUNK_BYTES,
     ) -> None:
         self.mesh = mesh or Mesh()
-        self.dram = dram
+        self.dram = dram if dram is not None else DramConfig()
         self.chunk = dram_chunk_bytes
 
     # -- latency -----------------------------------------------------------

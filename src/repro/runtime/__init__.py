@@ -1,0 +1,42 @@
+"""Sweep-execution runtime: parallel grid running + result caching.
+
+The experiment sweeps — Tab. II, Tab. III, Fig. 10, the multi-layer
+optimizer, and :meth:`repro.core.pipeline.CompressionPipeline.sweep` —
+are grids of independent points.  This package owns how those grids
+execute:
+
+* :func:`run_tasks` / :class:`GridTask` fan a grid over a process pool
+  (``REPRO_JOBS`` env var or ``jobs=`` kwarg; ``jobs=1`` is the exact
+  serial loop) with order-preserving, deterministic results;
+* :class:`ResultCache` is a content-addressed on-disk store (SHA-256 of
+  weight-stream bytes + codec spec + delta + storage format +
+  evaluation-set fingerprint) living next to the trained-weight cache,
+  consulted *before* dispatch so warm sweeps run zero tasks;
+* :class:`Timings` counts tasks run, cache hits, and in-task seconds —
+  the counters experiments print so you can see what was skipped.
+"""
+
+from .cache import MISS, ResultCache, results_cache_enabled
+from .keys import (
+    codec_spec,
+    fingerprint_array,
+    fingerprint_arrays,
+    fingerprint_bytes,
+    result_key,
+)
+from .pool import GridTask, Timings, default_jobs, run_tasks
+
+__all__ = [
+    "MISS",
+    "ResultCache",
+    "results_cache_enabled",
+    "codec_spec",
+    "fingerprint_array",
+    "fingerprint_arrays",
+    "fingerprint_bytes",
+    "result_key",
+    "GridTask",
+    "Timings",
+    "default_jobs",
+    "run_tasks",
+]

@@ -1,0 +1,113 @@
+"""Content-addressed on-disk cache of sweep grid-point results.
+
+Entries live next to the trained-weight cache, under
+``$REPRO_CACHE/results/`` (``~/.cache/repro-weights/results/`` by
+default), one JSON file per key, sharded by the first two hex digits.
+Keys come from :func:`repro.runtime.keys.result_key` — the SHA-256 of
+everything the result depends on — so invalidation is automatic: change
+the weights, the delta, the codec spec, the storage format, or the
+evaluation set and you address a different entry; stale files are never
+*wrong*, merely unreachable.
+
+Writes are atomic (temp file + ``os.replace``), so a sweep killed
+mid-write never leaves a truncated entry behind; unreadable or corrupt
+files count as misses and are overwritten on the next ``put``.
+
+``REPRO_RESULT_CACHE=0`` disables the cache process-wide (every ``get``
+misses, every ``put`` is dropped) — the knob for forcing cold runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .serialize import SerializationError, decode, encode
+
+__all__ = ["ResultCache", "results_cache_enabled", "MISS"]
+
+#: sentinel distinguishing "no entry" from a cached ``None``
+MISS = object()
+
+
+def results_cache_enabled() -> bool:
+    return os.environ.get("REPRO_RESULT_CACHE", "") not in ("0",)
+
+
+class ResultCache:
+    """Keyed store of JSON-serializable result objects.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``results/`` inside the weight
+        cache dir (``REPRO_CACHE`` or ``~/.cache/repro-weights``).
+    enabled:
+        Force-enable/disable; defaults to the ``REPRO_RESULT_CACHE``
+        environment switch.
+
+    The ``hits``/``misses``/``puts`` counters feed the sweep timing
+    summaries, which is how a warm rerun *proves* it skipped the
+    encode/evaluate work.
+    """
+
+    def __init__(self, root: str | Path | None = None, enabled: bool | None = None):
+        if root is None:
+            # late import: common owns the REPRO_CACHE resolution
+            from ..experiments.common import cache_dir
+
+            root = cache_dir() / "results"
+        self.root = Path(root)
+        self.enabled = results_cache_enabled() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """The cached value for ``key``, or :data:`MISS`."""
+        if not self.enabled:
+            self.misses += 1
+            return MISS
+        try:
+            with open(self._path(key), encoding="utf-8") as f:
+                doc = json.load(f)
+            value = decode(doc["value"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` (atomic, last writer wins)."""
+        if not self.enabled:
+            return
+        try:
+            doc = {"key": key, "value": encode(value)}
+        except SerializationError:
+            return  # uncacheable result shapes silently skip the cache
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+            os.replace(tmp, path)
+            self.puts += 1
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_puts": self.puts,
+        }

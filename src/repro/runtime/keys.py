@@ -1,0 +1,103 @@
+"""Content-addressed cache keys for sweep grid points.
+
+A grid point is identified by *what* it computes on, not *when* it ran:
+the SHA-256 of the weight-stream bytes, the codec spec (name plus
+constructor parameters), the tolerance delta, the storage format, and a
+fingerprint of the evaluation set (plus, for accuracy points, the full
+model state — accuracy depends on every layer, not just the compressed
+one).  Any change to any ingredient changes the key; identical inputs
+collide onto the same entry regardless of process, job count, or run
+order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = [
+    "fingerprint_bytes",
+    "fingerprint_array",
+    "fingerprint_arrays",
+    "codec_spec",
+    "result_key",
+]
+
+
+def fingerprint_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def fingerprint_array(arr: np.ndarray) -> str:
+    """Content hash of one array: dtype, shape, and C-order bytes."""
+    a = np.ascontiguousarray(np.asarray(arr))
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(repr(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def fingerprint_arrays(*arrays: np.ndarray) -> str:
+    """Content hash of an ordered collection of arrays.
+
+    Used for evaluation-set fingerprints (``x_test``, ``y_test``) and
+    whole-model state (the ``state_dict`` values in key order).
+    """
+    h = hashlib.sha256()
+    for arr in arrays:
+        h.update(fingerprint_array(arr).encode())
+    return h.hexdigest()
+
+
+def _jsonable(value):
+    """Normalize spec ingredients into canonically serializable values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def codec_spec(codec) -> dict:
+    """Canonical, hashable description of a codec argument.
+
+    String specs hash as themselves (their per-delta parameters enter
+    the key separately); :class:`~repro.core.codecs.Codec` instances
+    hash as registry name plus their ``params()``, so two instances
+    with equal construction are the same configuration.  (Duck-typed so
+    :mod:`repro.runtime` carries no static import of the core package.)
+    """
+    if isinstance(codec, str):
+        return {"name": codec, "params": None}
+    return {"name": codec.name, "params": _jsonable(codec.params())}
+
+
+def result_key(kind: str, **ingredients) -> str:
+    """SHA-256 key over a canonical JSON encoding of the ingredients.
+
+    ``kind`` namespaces the grid-point type (``"delta-record"``,
+    ``"tab2-report"``, ``"accel-run"``, ...) so results of different
+    shapes never alias even if their ingredients coincide.
+    """
+    doc = {"kind": kind, "ingredients": _jsonable(ingredients)}
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,73 @@
+"""JSON round-tripping of result dataclasses for the on-disk cache.
+
+The result cache stores grid-point outputs — ``DeltaRecord``,
+``CompressionReport``, accelerator ``LayerResult``/``ModelResult`` — as
+JSON.  Dataclasses are tagged with their import path so decoding needs
+no registry imports here (keeping :mod:`repro.runtime` free of static
+dependencies on the packages that *use* it).
+
+Fidelity contract: a value that went through ``decode(encode(v))``
+compares equal to the original — Python's JSON float formatting uses
+``repr``, which round-trips IEEE doubles exactly, so cached records are
+byte-identical to freshly computed ones (the warm-cache identity the
+sweep tests assert).  Tuples come back as lists; none of the cached
+result types carry tuple fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+
+__all__ = ["encode", "decode", "SerializationError"]
+
+_TAG = "__dataclass__"
+
+
+class SerializationError(ValueError):
+    """A value (or tag) the cache codec refuses to handle."""
+
+
+def encode(value):
+    """Recursively convert ``value`` into JSON-serializable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        fields = {
+            f.name: encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {_TAG: f"{cls.__module__}:{cls.__qualname__}", "fields": fields}
+    if isinstance(value, dict):
+        if _TAG in value:
+            raise SerializationError(f"dict key collides with tag {_TAG!r}")
+        return {str(k): encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SerializationError(f"cannot cache value of type {type(value).__name__}")
+
+
+def _resolve(path: str) -> type:
+    module_name, _, qualname = path.partition(":")
+    if not module_name.startswith("repro.") and module_name != "repro":
+        raise SerializationError(f"refusing to import {module_name!r} from cache")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):
+        raise SerializationError(f"{path!r} is not a dataclass")
+    return obj
+
+
+def decode(value):
+    """Inverse of :func:`encode`."""
+    if isinstance(value, dict):
+        if _TAG in value:
+            cls = _resolve(value[_TAG])
+            fields = {k: decode(v) for k, v in value.get("fields", {}).items()}
+            return cls(**fields)
+        return {k: decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode(v) for v in value]
+    return value

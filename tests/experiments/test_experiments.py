@@ -164,3 +164,66 @@ class TestFig10Rendering:
 
         text = fig10_tradeoff.render_detail(self._fake_results())
         assert "latency breakdown" in text and "energy breakdown" in text
+
+
+class TestBestStateRestore:
+    """Regression: the best-stage snapshot must carry BN buffers.
+
+    A staged-LR run whose final stage *degrades* restores the best
+    stage's parameters; batch-norm running statistics estimated under
+    those parameters must come back with them, not stay at the values
+    the worse final stage left behind.
+    """
+
+    class _Module:
+        NAME = "LeNet-5"  # reuse the real proxy dataset
+        TOP_K = 1
+        PROXY_LR = 0.05
+        PROXY_EPOCHS = 1
+
+        @staticmethod
+        def proxy(rng=None):
+            from repro.nn.layers import Conv2D
+            from repro.nn.layers.norm import BatchNorm2D
+            from repro.nn.sequential import Sequential
+
+            rng = rng or np.random.default_rng(0)
+            return Sequential(
+                [
+                    ("conv_1", Conv2D(1, 2, 3, rng=rng)),
+                    ("bn_1", BatchNorm2D(2, name="bn_1")),
+                ]
+            )
+
+    def test_degrading_final_stage_restores_bn_buffers(self, monkeypatch):
+        from repro.experiments import common
+        from repro.nn.layers.norm import BatchNorm2D
+        from repro.nn.train import EvalResult
+
+        # Stage 1 reaches 0.5 (the best); stage 2 converges lower
+        # (prev > 4*chance, improvement < 0.02) and ends the schedule.
+        accs = iter([0.5, 0.35])
+        stage = {"n": 0}
+
+        def fake_train(model, x, y, cfg):
+            stage["n"] += 1
+            for p in model.params():
+                p.data[...] = float(stage["n"])
+            for layer in model.layers():
+                for arr in layer.buffers().values():
+                    arr[...] = float(stage["n"])
+
+        def fake_evaluate(model, x, y, batch_size=128):
+            return EvalResult(top1=next(accs), top5=1.0, n=1)
+
+        monkeypatch.setattr(common, "train", fake_train)
+        monkeypatch.setattr(common, "evaluate", fake_evaluate)
+
+        model, _ = common.trained_proxy(self._Module, seed=0, fast=True, use_cache=False)
+
+        assert stage["n"] == 2  # both stages ran, second was worse
+        bn = next(l for l in model.layers() if isinstance(l, BatchNorm2D))
+        np.testing.assert_array_equal(bn.gamma.data, 1.0)
+        # the bug: params were restored but buffers kept stage-2 values
+        np.testing.assert_array_equal(bn.running_mean, 1.0)
+        np.testing.assert_array_equal(bn.running_var, 1.0)

@@ -136,3 +136,21 @@ class TestDemandModeAccelerator:
         s = sum(l.events["macs"] for l in e_static.layers)
         d = sum(l.events["macs"] for l in e_demand.layers)
         assert s == d
+
+
+class TestDefaultConfigIsolation:
+    """Regression: default-constructed accelerators must not share one
+    ``AcceleratorConfig`` instance (the B008 evaluated-once-at-import
+    pattern), or mutating one instance's view of the config would leak
+    into every other default-constructed accelerator."""
+
+    def test_each_instance_gets_its_own_config(self):
+        a, b = Accelerator(), Accelerator()
+        assert a.config is not b.config
+        assert a.config.dram is not b.config.dram
+        assert a.config.pe is not b.config.pe
+        assert a.config == b.config  # same values, distinct objects
+
+    def test_explicit_config_is_kept(self):
+        cfg = AcceleratorConfig(mesh_width=2, mesh_height=2)
+        assert Accelerator(cfg).config is cfg

@@ -17,10 +17,10 @@ from repro.noc import (
 )
 
 
-def _wire(dram=DramConfig(), pe_cfg=PEConfig()):
+def _wire(dram=None, pe_cfg=None):
     sim = NocSimulator(Mesh(4, 4))
-    mc = MemoryInterface(0, dram)
-    pe = ProcessingElement(5, pe_cfg)
+    mc = MemoryInterface(0, dram if dram is not None else DramConfig())
+    pe = ProcessingElement(5, pe_cfg if pe_cfg is not None else PEConfig())
     sim.attach_node(mc)
     sim.attach_node(pe)
     return sim, mc, pe
@@ -122,9 +122,9 @@ class TestProcessingElement:
 class TestDemandMode:
     """PE-issued request packets instead of a static MC schedule."""
 
-    def _run_demand(self, dram=DramConfig()):
+    def _run_demand(self, dram=None):
         sim = NocSimulator(Mesh(4, 4))
-        mc = MemoryInterface(0, dram)
+        mc = MemoryInterface(0, dram if dram is not None else DramConfig())
         pe = ProcessingElement(5)
         sim.attach_node(mc)
         sim.attach_node(pe)

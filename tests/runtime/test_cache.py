@@ -1,0 +1,114 @@
+"""ResultCache: typed round-trips, miss semantics, corruption safety,
+the ``REPRO_RESULT_CACHE`` kill switch, and hit/miss counters."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.metrics import CompressionReport
+from repro.core.pipeline import DeltaRecord
+from repro.energy.model import EnergyBreakdown
+from repro.mapping.accelerator import LayerResult, ModelResult
+from repro.noc.transaction import LatencyComponents
+from repro.runtime import MISS, ResultCache
+from repro.runtime.serialize import decode, encode
+
+RECORD = DeltaRecord(
+    delta_pct=5.0, top1=0.91, top5=0.99, cr=1.38, mse=8.8e-5, num_segments=321
+)
+
+
+def _model_result() -> ModelResult:
+    energy = EnergyBreakdown()
+    energy.dynamic["router"] = 1.5e-6
+    layer = LayerResult(
+        layer_name="conv_1",
+        latency=LatencyComponents(memory=10, communication=20, computation=30),
+        energy=energy,
+        events={"macs": 1234, "flit_hops": 99},
+    )
+    return ModelResult(model_name="LeNet-5", layers=[layer, layer])
+
+
+class TestSerialize:
+    def test_delta_record_roundtrip(self):
+        assert decode(encode(RECORD)) == RECORD
+
+    def test_report_list_roundtrip(self):
+        reports = [
+            CompressionReport(
+                delta_pct=0.0, cr=1.21, weighted_cr=1.17, mem_fp_reduction=0.14,
+                mse=5.9e-5,
+            )
+        ]
+        assert decode(encode(reports)) == reports
+
+    def test_model_result_roundtrip(self):
+        res = _model_result()
+        back = decode(encode(res))
+        assert back == res
+        assert back.total_latency.total == res.total_latency.total
+        assert back.total_energy.total == res.total_energy.total
+
+    def test_float_fidelity(self):
+        # JSON floats round-trip IEEE doubles exactly via repr
+        values = [0.1, 1 / 3, 2.2250738585072014e-308, 0.9999999999999999]
+        assert decode(encode(values)) == values
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        assert cache.get("k" * 64) is MISS
+        cache.put("k" * 64, [RECORD])
+        assert cache.get("k" * 64) == [RECORD]
+        assert cache.hits == 1 and cache.misses == 1 and cache.puts == 1
+
+    def test_cache_survives_reopen(self, tmp_path):
+        ResultCache(tmp_path, enabled=True).put("a" * 64, RECORD)
+        assert ResultCache(tmp_path, enabled=True).get("a" * 64) == RECORD
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.put("b" * 64, RECORD)
+        path = cache._path("b" * 64)
+        path.write_text("{truncated")
+        assert cache.get("b" * 64) is MISS
+
+    def test_wrong_schema_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        path = cache._path("c" * 64)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"unexpected": 1}))
+        assert cache.get("c" * 64) is MISS
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+        cache = ResultCache(tmp_path)
+        cache.put("d" * 64, RECORD)
+        assert cache.get("d" * 64) is MISS
+        assert list(tmp_path.iterdir()) == []
+
+    def test_default_root_lives_under_repro_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "results"
+
+    def test_uncacheable_value_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.put("e" * 64, {"arr": np.arange(3)})  # ndarray: not serializable
+        assert cache.get("e" * 64) is MISS
+        assert cache.puts == 0
+
+    def test_refuses_foreign_import_tags(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        path = cache._path("f" * 64)
+        path.parent.mkdir(parents=True)
+        doc = {
+            "key": "f" * 64,
+            "value": {"__dataclass__": "os:system", "fields": {}},
+        }
+        path.write_text(json.dumps(doc))
+        assert cache.get("f" * 64) is MISS

@@ -1,0 +1,102 @@
+"""Content-addressed key construction: equal inputs collide, any
+changed ingredient — weights, delta, codec spec, storage format,
+evaluation set — addresses a different entry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.codecs import get_codec
+from repro.core.compression import StorageFormat
+from repro.runtime import (
+    codec_spec,
+    fingerprint_array,
+    fingerprint_arrays,
+    result_key,
+)
+
+
+class TestFingerprints:
+    def test_array_content_addressed(self):
+        a = np.arange(8, dtype=np.float32)
+        assert fingerprint_array(a) == fingerprint_array(a.copy())
+
+    def test_array_value_sensitivity(self):
+        a = np.arange(8, dtype=np.float32)
+        b = a.copy()
+        b[3] += 1e-6
+        assert fingerprint_array(a) != fingerprint_array(b)
+
+    def test_array_dtype_and_shape_sensitivity(self):
+        a = np.zeros(8, dtype=np.float32)
+        assert fingerprint_array(a) != fingerprint_array(a.astype(np.float64))
+        assert fingerprint_array(a) != fingerprint_array(a.reshape(2, 4))
+
+    def test_arrays_order_sensitivity(self):
+        x = np.ones(4, dtype=np.float32)
+        y = np.zeros(4, dtype=np.float32)
+        assert fingerprint_arrays(x, y) != fingerprint_arrays(y, x)
+
+    def test_non_contiguous_view_equals_copy(self):
+        a = np.arange(16, dtype=np.float32)[::2]
+        assert fingerprint_array(a) == fingerprint_array(a.copy())
+
+
+class TestCodecSpec:
+    def test_string_spec(self):
+        assert codec_spec("linefit") == {"name": "linefit", "params": None}
+
+    def test_instance_spec_carries_params(self):
+        a = codec_spec(get_codec("linefit", delta_pct=5.0))
+        b = codec_spec(get_codec("linefit", delta_pct=10.0))
+        assert a["name"] == b["name"] == "linefit"
+        assert a != b
+
+    def test_equal_construction_same_spec(self):
+        a = codec_spec(get_codec("linefit", delta_pct=5.0))
+        b = codec_spec(get_codec("linefit", delta_pct=5.0))
+        assert a == b
+
+
+class TestResultKey:
+    WEIGHTS = np.linspace(-1, 1, 64).astype(np.float32)
+
+    def _key(self, **overrides) -> str:
+        ingredients = {
+            "weights": fingerprint_array(self.WEIGHTS),
+            "codec": codec_spec("linefit"),
+            "delta_pct": 5.0,
+            "fmt": StorageFormat(),
+            "eval_set": "abc123",
+        }
+        ingredients.update(overrides)
+        return result_key("delta-record", **ingredients)
+
+    def test_deterministic(self):
+        assert self._key() == self._key()
+
+    def test_weights_change_key(self):
+        other = self.WEIGHTS.copy()
+        other[0] += 0.5
+        assert self._key() != self._key(weights=fingerprint_array(other))
+
+    def test_delta_changes_key(self):
+        assert self._key() != self._key(delta_pct=10.0)
+
+    def test_codec_changes_key(self):
+        assert self._key() != self._key(codec=codec_spec("huffman"))
+
+    def test_format_changes_key(self):
+        assert self._key() != self._key(fmt=StorageFormat.int8())
+
+    def test_eval_set_changes_key(self):
+        assert self._key() != self._key(eval_set="other")
+
+    def test_kind_namespaces(self):
+        ingredients = {"x": 1}
+        assert result_key("a", **ingredients) != result_key("b", **ingredients)
+
+    def test_unhashable_ingredient_rejected(self):
+        with pytest.raises(TypeError):
+            result_key("k", bad=object())

@@ -1,0 +1,118 @@
+"""Grid runner: ordering, serial/parallel identity, REPRO_JOBS
+resolution, cache-before-dispatch, and timing counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import GridTask, ResultCache, Timings, default_jobs, run_tasks
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fail(x: int) -> int:
+    raise ValueError(f"boom {x}")
+
+
+def _tasks(n: int, keyed: bool = False) -> list[GridTask]:
+    return [
+        GridTask(fn=_square, args=(i,), key=(f"{i:064x}" if keyed else None))
+        for i in range(n)
+    ]
+
+
+class TestDefaultJobs:
+    def test_unset_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_env_sets_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+
+    def test_invalid_and_subunit_values_are_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+
+
+class TestRunTasks:
+    def test_serial_order(self):
+        assert run_tasks(_tasks(6), jobs=1) == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_matches_serial(self):
+        assert run_tasks(_tasks(6), jobs=3) == run_tasks(_tasks(6), jobs=1)
+
+    def test_jobs_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert run_tasks(_tasks(4)) == [0, 1, 4, 9]
+
+    def test_empty_grid(self):
+        assert run_tasks([], jobs=4) == []
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_tasks([GridTask(fn=_fail, args=(1,))], jobs=1)
+
+    def test_parallel_exception_propagates(self):
+        tasks = _tasks(3) + [GridTask(fn=_fail, args=(9,))]
+        with pytest.raises(ValueError, match="boom 9"):
+            run_tasks(tasks, jobs=2)
+
+    def test_timings_counters(self):
+        t = Timings()
+        run_tasks(_tasks(5), jobs=1, timings=t)
+        assert t.counters["tasks"] == 5
+        assert t.counters["tasks_run"] == 5
+        assert t.counters.get("cache_hits", 0) == 0
+        assert t.counters["task_seconds"] >= 0
+        assert "tasks_run=5" in t.summary()
+
+
+class TestCacheIntegration:
+    def test_cold_run_populates_warm_run_skips(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cold, warm = Timings(), Timings()
+        r1 = run_tasks(_tasks(4, keyed=True), jobs=2, cache=cache, timings=cold)
+        r2 = run_tasks(_tasks(4, keyed=True), jobs=2, cache=cache, timings=warm)
+        assert r1 == r2 == [0, 1, 4, 9]
+        assert cold.counters["tasks_run"] == 4
+        assert warm.counters.get("tasks_run", 0) == 0
+        assert warm.counters["cache_hits"] == 4
+        assert warm.counters.get("task_seconds", 0.0) == 0.0
+
+    def test_partial_warmth_runs_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        run_tasks(_tasks(2, keyed=True), jobs=1, cache=cache)
+        t = Timings()
+        out = run_tasks(_tasks(5, keyed=True), jobs=1, cache=cache, timings=t)
+        assert out == [0, 1, 4, 9, 16]
+        assert t.counters["cache_hits"] == 2
+        assert t.counters["tasks_run"] == 3
+
+    def test_unkeyed_tasks_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        t = Timings()
+        run_tasks(_tasks(3, keyed=False), jobs=1, cache=cache, timings=t)
+        run_tasks(_tasks(3, keyed=False), jobs=1, cache=cache, timings=t)
+        assert t.counters["tasks_run"] == 6
+        assert cache.puts == 0
+
+
+class TestTimings:
+    def test_merge(self):
+        a, b = Timings(), Timings()
+        a.add("tasks", 2)
+        b.add("tasks", 3)
+        b.add("cache_hits", 1)
+        a.merge(b)
+        assert a.counters == {"tasks": 5, "cache_hits": 1}
+
+    def test_timer_context(self):
+        t = Timings()
+        with t.timer("task_seconds"):
+            pass
+        assert t.counters["task_seconds"] >= 0
