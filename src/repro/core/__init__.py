@@ -61,6 +61,7 @@ from .compression import (
     quantize_coefficient,
 )
 from .decompressor import DecompressionUnit, DecompressorTiming, decompress_accumulate
+from .errors import FaultError, IntegrityError
 from .layer_selection import select_layer, select_layer_model, select_multi
 from .metrics import (
     CompressionReport,
@@ -84,6 +85,8 @@ __all__ = [
     "evaluate_with_compressed_activations",
     "Codec",
     "CodecError",
+    "IntegrityError",
+    "FaultError",
     "ComposedCodec",
     "CompressedBlob",
     "LineFitCodec",

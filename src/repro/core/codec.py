@@ -6,35 +6,84 @@ NoC to the PEs.  Layout (little-endian), matching
 :class:`repro.core.compression.StorageFormat`:
 
     header:  magic 'RWCS' | u8 version | u8 fmt flags | u32 num_segments
-             | f64 delta
+             | u32 header crc | f64 delta
     body:    num_segments * (slope | intercept | length)
+    trailer: ceil(num_segments / 64) * u32 frame CRC32
 
 Coefficients are stored at the format's width: 4 bytes = ``float32``,
 3 bytes = ``float32`` with the low mantissa byte dropped (the default
 8-byte-per-segment format calibrated to the paper's delta=0 CR of 1.21),
-2 bytes = ``float16``.  Lengths are ``uint16``.  The O(1) header is
-excluded from compression-ratio accounting, mirroring the paper's
-three-fields-per-segment cost model.
+2 bytes = ``float16``.  Lengths are ``uint16``.  The O(1) header and the
+integrity trailer are excluded from compression-ratio accounting,
+mirroring the paper's three-fields-per-segment cost model.
+
+Integrity framing (version 3)
+-----------------------------
+Because the stream is *regenerative* — each ⟨m, q, len⟩ triple expands
+into a whole sub-succession of weights — a single flipped bit silently
+poisons every weight of its segment (and, via a corrupted length field,
+desynchronizes everything after it).  Version 3 therefore frames the
+body in groups of :data:`SEGMENTS_PER_FRAME` segments, each covered by a
+CRC32 in the trailer, and protects the header fields and the trailer
+itself with a header CRC32 (computed over the message with the CRC field
+zeroed).  Every single-bit flip anywhere in a v3 message is detected.
+Version-2 messages (written before the framing existed) still decode,
+with no integrity guarantees — the legacy fallback.
+
+``decode`` raises :class:`IntegrityError` on checksum or finiteness
+violations and :class:`CodecError` on structural ones;
+:func:`parse_lenient` parses damaged v3 messages without raising so a
+degradation policy (see :mod:`repro.resilience`) can salvage the
+undamaged frames.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
 from .compression import CompressedStream, StorageFormat
-from .errors import CodecError
+from .errors import CodecError, IntegrityError
 
-__all__ = ["encode", "decode", "HEADER_BYTES", "CodecError"]
+__all__ = [
+    "encode",
+    "encode_legacy",
+    "decode",
+    "parse_lenient",
+    "LenientStream",
+    "frame_trailer_bytes",
+    "HEADER_BYTES",
+    "LEGACY_HEADER_BYTES",
+    "SEGMENTS_PER_FRAME",
+    "CodecError",
+    "IntegrityError",
+]
 
 _MAGIC = b"RWCS"
-_VERSION = 2
-_HEADER = struct.Struct("<4sBBI d")
+_VERSION = 3
+_LEGACY_VERSION = 2
+#: v3: magic | version | flags | num_segments | header crc | delta
+_HEADER = struct.Struct("<4sBBII d")
+#: v2 (legacy, pre-integrity): magic | version | flags | num_segments | delta
+_HEADER_V2 = struct.Struct("<4sBBI d")
 HEADER_BYTES = _HEADER.size
+LEGACY_HEADER_BYTES = _HEADER_V2.size
+#: byte offset of the u32 header-CRC field inside the v3 header
+_CRC_OFFSET = 4 + 1 + 1 + 4
+
+#: segments covered by one trailer CRC32 — the damage-localization grain
+SEGMENTS_PER_FRAME = 64
 
 _FLAG_INT8 = 0x01
 _KNOWN_FLAGS = _FLAG_INT8
+
+
+def frame_trailer_bytes(num_segments: int) -> int:
+    """Size of the v3 per-frame CRC trailer for a segment count."""
+    return 4 * (-(-int(num_segments) // SEGMENTS_PER_FRAME))
 
 
 def _pack_coeff(values: np.ndarray, nbytes: int) -> np.ndarray:
@@ -62,13 +111,24 @@ def _unpack_coeff(raw: np.ndarray, nbytes: int) -> np.ndarray:
     raise ValueError(f"unsupported coefficient width: {nbytes}")
 
 
+def _frame_crcs(body: bytes, num_segments: int, segment_bytes: int) -> np.ndarray:
+    """CRC32 of each :data:`SEGMENTS_PER_FRAME`-segment group of the body."""
+    frame_bytes = SEGMENTS_PER_FRAME * segment_bytes
+    n_frames = -(-num_segments // SEGMENTS_PER_FRAME)
+    return np.fromiter(
+        (
+            zlib.crc32(body[i * frame_bytes : (i + 1) * frame_bytes])
+            for i in range(n_frames)
+        ),
+        dtype=np.uint32,
+        count=n_frames,
+    )
+
+
 def encode(stream: CompressedStream) -> bytes:
-    """Serialize a compressed stream to bytes."""
+    """Serialize a compressed stream to bytes (version 3, CRC-framed)."""
     fmt = stream.fmt
     flags = _FLAG_INT8 if fmt.weight_bytes == 1 else 0
-    header = _HEADER.pack(
-        _MAGIC, _VERSION, flags, stream.num_segments, float(stream.delta)
-    )
     n = stream.num_segments
     if stream.lengths.size and int(stream.lengths.max()) > fmt.max_segment_length:
         raise ValueError("segment length exceeds the storage format's length field")
@@ -80,43 +140,203 @@ def encode(stream: CompressedStream) -> bytes:
     body[:, -fmt.length_bytes :] = (
         stream.lengths.astype("<u2").view(np.uint8).reshape(-1, 2)
     )
+    body_bytes = body.tobytes()
+    trailer = _frame_crcs(body_bytes, n, fmt.segment_bytes).astype("<u4").tobytes()
+    header0 = _HEADER.pack(_MAGIC, _VERSION, flags, n, 0, float(stream.delta))
+    crc = zlib.crc32(trailer, zlib.crc32(header0))
+    header = _HEADER.pack(_MAGIC, _VERSION, flags, n, crc, float(stream.delta))
+    return header + body_bytes + trailer
+
+
+def encode_legacy(stream: CompressedStream) -> bytes:
+    """Serialize in the pre-integrity version-2 layout (no CRCs).
+
+    Exists for the fault-injection campaign and the legacy-fallback
+    tests: it produces exactly the messages archives written before the
+    framing version bump contain.  New code should use :func:`encode`.
+    """
+    fmt = stream.fmt
+    flags = _FLAG_INT8 if fmt.weight_bytes == 1 else 0
+    n = stream.num_segments
+    if stream.lengths.size and int(stream.lengths.max()) > fmt.max_segment_length:
+        raise ValueError("segment length exceeds the storage format's length field")
+    body = np.empty((n, fmt.segment_bytes), dtype=np.uint8)
+    body[:, : fmt.slope_bytes] = _pack_coeff(stream.m, fmt.slope_bytes)
+    body[:, fmt.slope_bytes : fmt.slope_bytes + fmt.intercept_bytes] = _pack_coeff(
+        stream.q, fmt.intercept_bytes
+    )
+    body[:, -fmt.length_bytes :] = (
+        stream.lengths.astype("<u2").view(np.uint8).reshape(-1, 2)
+    )
+    header = _HEADER_V2.pack(_MAGIC, _LEGACY_VERSION, flags, n, float(stream.delta))
     return header + body.tobytes()
 
 
-def decode(data: bytes) -> CompressedStream:
-    """Parse bytes produced by :func:`encode` back into a stream.
+@dataclass
+class LenientStream:
+    """A v3/v2 message parsed without raising on *content* damage.
 
-    Raises
-    ------
-    CodecError
-        On truncated buffers, bad magic, unknown versions, unknown
-        format flags and body-size mismatches.
+    ``damaged`` flags the segments whose frame CRC failed (always all-
+    False for legacy v2 messages, which carry no CRCs).  ``m``, ``q``
+    and ``lengths`` are the raw parsed values — inside damaged frames
+    they are not to be trusted.  Structural damage (bad magic, size
+    mismatch) still raises, because then nothing about the message can
+    be trusted; a header-CRC mismatch alone does *not* — the per-frame
+    comparison still localizes the damage, at worst flagging one extra
+    frame when the hit landed in the trailer.
     """
-    if len(data) < HEADER_BYTES:
+
+    m: np.ndarray
+    q: np.ndarray
+    lengths: np.ndarray
+    delta: float
+    fmt: StorageFormat
+    damaged: np.ndarray  # bool, per segment
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.lengths.size)
+
+
+def _parse(data: bytes, strict: bool) -> LenientStream:
+    if len(data) < 5:
         raise CodecError("truncated compressed stream (missing header)")
-    try:
-        magic, version, flags, num_segments, delta = _HEADER.unpack_from(data)
-    except struct.error as exc:  # pragma: no cover - guarded by length check
-        raise CodecError(f"malformed compressed stream header: {exc}") from exc
+    magic, version = data[:4], data[4]
     if magic != _MAGIC:
         raise CodecError(f"bad magic {magic!r}, expected {_MAGIC!r}")
-    if version != _VERSION:
+    if version == _LEGACY_VERSION:
+        if len(data) < LEGACY_HEADER_BYTES:
+            raise CodecError("truncated compressed stream (missing header)")
+        _, _, flags, num_segments, delta = _HEADER_V2.unpack_from(data)
+        header_bytes, trailer_len = LEGACY_HEADER_BYTES, 0
+    elif version == _VERSION:
+        if len(data) < HEADER_BYTES:
+            raise CodecError("truncated compressed stream (missing header)")
+        _, _, flags, num_segments, header_crc, delta = _HEADER.unpack_from(data)
+        header_bytes, trailer_len = HEADER_BYTES, frame_trailer_bytes(num_segments)
+    else:
         raise CodecError(f"unsupported version {version}")
     if flags & ~_KNOWN_FLAGS:
         raise CodecError(f"unknown format flags 0x{flags & ~_KNOWN_FLAGS:02x}")
     fmt = StorageFormat.int8() if flags & _FLAG_INT8 else StorageFormat.float32()
-    expected = HEADER_BYTES + num_segments * fmt.segment_bytes
+    body_len = num_segments * fmt.segment_bytes
+    expected = header_bytes + body_len + trailer_len
     if len(data) != expected:
         raise CodecError(f"body size mismatch: got {len(data)}, expected {expected}")
-    body = np.frombuffer(data, dtype=np.uint8, offset=HEADER_BYTES).reshape(
-        num_segments, fmt.segment_bytes
-    )
+
+    damaged = np.zeros(num_segments, dtype=bool)
+    if version == _VERSION:
+        trailer = data[header_bytes + body_len :]
+        crc = zlib.crc32(
+            trailer,
+            zlib.crc32(
+                data[:_CRC_OFFSET] + b"\x00\x00\x00\x00" + data[_CRC_OFFSET + 4 : header_bytes]
+            ),
+        )
+        if crc != header_crc and strict:
+            raise IntegrityError("header checksum mismatch (corrupted framing)")
+        # lenient + header-CRC mismatch: the hit landed in the header
+        # fields or in the trailer itself.  The message is structurally
+        # coherent (magic/version/size all checked out), so fall through
+        # to the per-frame comparison — body damage is flagged exactly,
+        # and a corrupted trailer CRC flags only its own frame (a
+        # conservative false positive instead of losing the whole layer)
+        body_bytes = data[header_bytes : header_bytes + body_len]
+        stored = np.frombuffer(trailer, dtype="<u4")
+        actual = _frame_crcs(body_bytes, num_segments, fmt.segment_bytes)
+        bad_frames = np.flatnonzero(stored != actual)
+        for f in bad_frames:
+            lo = int(f) * SEGMENTS_PER_FRAME
+            damaged[lo : lo + SEGMENTS_PER_FRAME] = True
+        if strict and bad_frames.size:
+            segs = np.flatnonzero(damaged)
+            raise IntegrityError(
+                f"frame checksum mismatch in {bad_frames.size} frame(s), "
+                f"covering segments {segs[0]}..{segs[-1]}",
+                segments=tuple(segs.tolist()),
+            )
+
+    body = np.frombuffer(
+        data, dtype=np.uint8, offset=header_bytes, count=body_len
+    ).reshape(num_segments, fmt.segment_bytes)
     m = _unpack_coeff(body[:, : fmt.slope_bytes], fmt.slope_bytes)
     q = _unpack_coeff(
         body[:, fmt.slope_bytes : fmt.slope_bytes + fmt.intercept_bytes],
         fmt.intercept_bytes,
     )
-    lengths = (
-        body[:, -fmt.length_bytes :].copy().view("<u2").ravel().astype(np.int64)
+    lengths = body[:, -fmt.length_bytes :].copy().view("<u2").ravel().astype(np.int64)
+    return LenientStream(
+        m=m, q=q, lengths=lengths, delta=float(delta), fmt=fmt, damaged=damaged
     )
-    return CompressedStream(m=m, q=q, lengths=lengths, delta=float(delta), fmt=fmt)
+
+
+def _validate(parsed: LenientStream, expected_weights: int | None) -> None:
+    """Strict bounds validation on the decoded ⟨m, q, len⟩ triples."""
+    lengths = parsed.lengths
+    bad_len = np.flatnonzero(lengths <= 0)
+    if bad_len.size:
+        raise CodecError(
+            f"segment {int(bad_len[0])} has non-positive length {int(lengths[bad_len[0]])}"
+        )
+    non_finite = np.flatnonzero(~(np.isfinite(parsed.m) & np.isfinite(parsed.q)))
+    if non_finite.size:
+        raise IntegrityError(
+            f"segment {int(non_finite[0])} has non-finite line coefficients",
+            segments=tuple(non_finite.tolist()),
+        )
+    if expected_weights is not None:
+        total = np.cumsum(lengths)
+        declared = int(expected_weights)
+        over = np.flatnonzero(total > declared)
+        if over.size:
+            raise CodecError(
+                f"segment {int(over[0])} overruns the declared weight count: "
+                f"segments sum to {int(total[-1])}, declared {declared}"
+            )
+        got = int(total[-1]) if lengths.size else 0
+        if got != declared:
+            raise CodecError(
+                f"segment lengths sum to {got}, declared weight count is {declared}"
+            )
+
+
+def decode(data: bytes, expected_weights: int | None = None) -> CompressedStream:
+    """Parse bytes produced by :func:`encode` back into a stream.
+
+    Parameters
+    ----------
+    data:
+        A version-3 (CRC-framed) or legacy version-2 message.
+    expected_weights:
+        When given, the segment lengths must sum to exactly this count;
+        the error names the first overrunning segment.
+
+    Raises
+    ------
+    IntegrityError
+        On checksum mismatches (v3) and non-finite coefficients.
+    CodecError
+        On truncated buffers, bad magic, unknown versions, unknown
+        format flags, body-size mismatches, non-positive segment
+        lengths, and declared-weight-count violations.
+    """
+    parsed = _parse(data, strict=True)
+    _validate(parsed, expected_weights)
+    return CompressedStream(
+        m=parsed.m,
+        q=parsed.q,
+        lengths=parsed.lengths,
+        delta=parsed.delta,
+        fmt=parsed.fmt,
+    )
+
+
+def parse_lenient(data: bytes) -> LenientStream:
+    """Parse a message, flagging (not raising on) damaged v3 frames.
+
+    The entry point of the graceful-degradation path: structurally
+    broken messages still raise ``CodecError``/``IntegrityError``, but
+    frame-CRC failures come back as the ``damaged`` mask so a policy can
+    zero-fill the affected segments (:func:`repro.resilience.decode_degraded`).
+    """
+    return _parse(data, strict=False)

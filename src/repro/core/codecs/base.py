@@ -20,13 +20,17 @@ Codecs come in two flavours:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import CodecError
+from ..errors import CodecError, IntegrityError
 
 __all__ = ["Codec", "CompressedBlob", "CodecError"]
+
+#: blob ``meta`` key holding the payload CRC32 (see ``repro.resilience``)
+CHECKSUM_KEY = "crc32"
 
 
 @dataclass(frozen=True)
@@ -104,6 +108,40 @@ class CompressedBlob:
             original_bytes=int(spec.get("original_bytes", 0)),
             compressed_bytes=int(spec.get("compressed_bytes", 0)),
         )
+
+    # -- integrity (see repro.resilience) -----------------------------------
+    def with_checksum(self) -> "CompressedBlob":
+        """A copy whose ``meta`` records the payload CRC32."""
+        meta = dict(self.meta)
+        meta[CHECKSUM_KEY] = zlib.crc32(self.payload) & 0xFFFFFFFF
+        return CompressedBlob(
+            codec=self.codec,
+            params=self.params,
+            payload=self.payload,
+            meta=meta,
+            original_bytes=self.original_bytes,
+            compressed_bytes=self.compressed_bytes,
+        )
+
+    def verify(self, context: str = "") -> bool:
+        """Check the payload against the recorded checksum, if any.
+
+        Returns ``True`` when a checksum was present and matched,
+        ``False`` when the blob predates checksumming (legacy blobs
+        verify vacuously).  Raises
+        :class:`~repro.core.errors.IntegrityError` on a mismatch.
+        """
+        recorded = self.meta.get(CHECKSUM_KEY)
+        if recorded is None:
+            return False
+        actual = zlib.crc32(self.payload) & 0xFFFFFFFF
+        if int(recorded) != actual:
+            where = f" ({context})" if context else ""
+            raise IntegrityError(
+                f"payload checksum mismatch{where}: "
+                f"recorded 0x{int(recorded):08x}, computed 0x{actual:08x}"
+            )
+        return True
 
 
 def as_stream(weights: np.ndarray) -> np.ndarray:

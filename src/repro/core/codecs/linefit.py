@@ -115,8 +115,17 @@ class LineFitCodec(Codec):
         )
 
     def decode_stream(self, blob: CompressedBlob) -> CompressedStream:
-        """The parsed :class:`CompressedStream` behind a blob."""
-        return wire.decode(blob.payload)
+        """The parsed :class:`CompressedStream` behind a blob.
+
+        When the blob declares its weight count (``meta.num_weights``),
+        the wire decoder additionally checks that the segment lengths
+        sum to exactly it — a length field corrupted in storage can no
+        longer silently mis-shape the regenerated stream.
+        """
+        declared = blob.num_weights
+        return wire.decode(
+            blob.payload, expected_weights=declared if declared else None
+        )
 
     def decode(self, blob: CompressedBlob) -> np.ndarray:
         return self.decode_stream(blob).decompress(dtype=np.float32)

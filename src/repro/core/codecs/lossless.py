@@ -44,8 +44,10 @@ def _unpack_stream_header(payload: bytes) -> tuple[np.dtype, int, bytes]:
     name, count = _STREAM_HEADER.unpack_from(payload)
     try:
         dtype = np.dtype(name.rstrip(b"\0").decode())
-    except (TypeError, UnicodeDecodeError) as exc:
+    except (TypeError, ValueError, UnicodeDecodeError) as exc:
         raise CodecError(f"bad dtype in lossless payload: {exc}") from exc
+    if dtype.itemsize == 0:
+        raise CodecError(f"bad dtype in lossless payload: {dtype} has zero itemsize")
     return dtype, count, payload[_STREAM_HEADER.size :]
 
 
@@ -55,7 +57,10 @@ def _bytes_to_stream(raw: bytes, dtype: np.dtype, count: int) -> np.ndarray:
         raise CodecError(
             f"payload decodes to {len(raw)} bytes, expected {expected}"
         )
-    return np.frombuffer(raw, dtype=dtype).copy()
+    try:
+        return np.frombuffer(raw, dtype=dtype).copy()
+    except ValueError as exc:
+        raise CodecError(f"payload bytes do not form a {dtype} stream: {exc}") from exc
 
 
 class _LosslessCodec(Codec):
@@ -93,7 +98,19 @@ class _LosslessCodec(Codec):
 
     def decode(self, blob: CompressedBlob) -> np.ndarray:
         dtype, count, body = _unpack_stream_header(blob.payload)
-        raw = self._decode_bytes(body, count * dtype.itemsize)
+        declared = blob.num_weights
+        if declared and count != declared:
+            raise CodecError(
+                f"payload header declares {count} weights, blob meta says {declared}"
+            )
+        try:
+            raw = self._decode_bytes(body, count * dtype.itemsize)
+        except CodecError:
+            raise
+        except (ValueError, KeyError, IndexError, OverflowError, struct.error) as exc:
+            # adversarial/corrupted body bytes must surface as CodecError,
+            # whatever the underlying byte-level decoder tripped over
+            raise CodecError(f"corrupt {self.name} payload: {exc}") from exc
         return _bytes_to_stream(raw, dtype, count)
 
 

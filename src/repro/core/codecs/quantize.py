@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import CodecError
 from ..quantization import quantize_tensor
 from .base import Codec, CompressedBlob, as_stream
 from .registry import register_codec
@@ -63,7 +64,13 @@ class QuantizeInt8Codec(Codec):
 
     def decode(self, blob: CompressedBlob) -> np.ndarray:
         values = np.frombuffer(blob.payload, dtype=np.int8).astype(np.float32)
-        return self.untransform(
-            values,
-            {"scale": blob.meta["scale"], "zero_point": blob.meta["zero_point"]},
-        )
+        declared = blob.num_weights
+        if declared and values.size != declared:
+            raise CodecError(
+                f"int8 payload holds {values.size} values, blob declares {declared}"
+            )
+        try:
+            info = {"scale": blob.meta["scale"], "zero_point": blob.meta["zero_point"]}
+        except KeyError as exc:
+            raise CodecError(f"quantized blob meta missing {exc}") from exc
+        return self.untransform(values, info)

@@ -4,11 +4,24 @@ Kept in a leaf module so both the low-level wire format
 (:mod:`repro.core.codec`) and the pluggable codec framework
 (:mod:`repro.core.codecs`) can raise the same error without importing
 each other.
+
+The taxonomy mirrors the fault model of :mod:`repro.resilience`:
+
+``CodecError``
+    Any invalid compressed payload or codec configuration.
+``IntegrityError``
+    A payload that is *structurally* parseable but whose content fails
+    an integrity check: CRC mismatch, non-finite coefficients, segment
+    lengths that contradict the declared weight count.  This is the
+    error a corrupted-in-transit blob raises.
+``FaultError``
+    An injected or detected runtime fault outside the byte format
+    itself — crashed/hung pool workers, dropped NoC packets.
 """
 
 from __future__ import annotations
 
-__all__ = ["CodecError"]
+__all__ = ["CodecError", "IntegrityError", "FaultError"]
 
 
 class CodecError(ValueError):
@@ -18,3 +31,20 @@ class CodecError(ValueError):
     and unknown/ill-configured codec names.  Subclasses ``ValueError``
     so pre-existing ``except ValueError`` call sites keep working.
     """
+
+
+class IntegrityError(CodecError):
+    """A payload parsed fine but its content is provably damaged.
+
+    Carries ``segments``: the indices of the damaged ⟨m, q, len⟩
+    segments when the framing localizes the damage (empty when the
+    damage cannot be attributed, e.g. a header CRC mismatch).
+    """
+
+    def __init__(self, message: str, segments: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.segments = tuple(int(s) for s in segments)
+
+
+class FaultError(CodecError):
+    """A runtime fault (injected or real) outside the byte format."""

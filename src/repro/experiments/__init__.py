@@ -9,6 +9,7 @@
 | ``fig9_sensitivity``| Fig. 9         | per-layer sensitivity, LeNet-5 & AlexNet |
 | ``fig10_tradeoff``  | Fig. 10        | accuracy vs latency & energy, 6 models   |
 | ``table3_quantized``| Tab. III       | compression on top of int8 quantization  |
+| ``fault_campaign``  | (robustness)   | accuracy under bit errors, by storage arm|
 
 Each module exposes ``run(fast=False)`` (structured results),
 ``render(results)`` (paper-style text) and ``main()`` (CLI).  The
@@ -18,6 +19,7 @@ workloads.
 
 from . import (
     common,
+    fault_campaign,
     fig2_breakdown,
     fig3_entropy,
     fig9_sensitivity,
@@ -35,10 +37,12 @@ ALL_EXPERIMENTS = {
     "fig9": fig9_sensitivity,
     "fig10": fig10_tradeoff,
     "tab3": table3_quantized,
+    "fig_fault_campaign": fault_campaign,
 }
 
 __all__ = [
     "common",
+    "fault_campaign",
     "fig2_breakdown",
     "fig3_entropy",
     "fig9_sensitivity",

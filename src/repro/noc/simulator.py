@@ -14,6 +14,15 @@ models (PEs and memory interfaces).  Each cycle:
 The loop ends when every node reports idle and no flit is in flight.
 Event counts (flit-hops, buffer accesses, per-class payload volumes) are
 accumulated in :class:`NocStats` for the energy model.
+
+Fault injection: construct with ``faults=`` (any object with the
+``corrupt_hop()`` / ``drop_packet()`` protocol of
+:class:`repro.resilience.FlitFaultInjector`).  Each link traversal rolls
+``corrupt_hop()`` — a hit marks the flit's packet ``corrupted`` (data
+damaged in flight; delivery proceeds, mirroring a NoC without link-level
+retransmission) — and each packet rolls ``drop_packet()`` at injection,
+a hit silently discarding it at the source NIC.  Both outcomes are
+counted in :class:`NocStats`.
 """
 
 from __future__ import annotations
@@ -40,6 +49,10 @@ class Node:
 
     def send(self, packet: Packet, cycle: int) -> None:
         assert self.sim is not None, "node not attached to a simulator"
+        faults = self.sim.faults
+        if faults is not None and faults.drop_packet():
+            self.sim.stats.packets_dropped += 1
+            return
         self.sim.nics[self.node_id].enqueue(packet, cycle)
 
     # -- to override -------------------------------------------------------
@@ -66,6 +79,10 @@ class NocStats:
     flits_delivered: int = 0
     payload_bytes: dict[str, int] = field(default_factory=dict)
     latency_sum: int = 0
+    #: fault-injection outcomes (zero without an injector)
+    flits_corrupted: int = 0
+    packets_dropped: int = 0
+    packets_corrupted: int = 0
 
     def record_delivery(self, packet: Packet) -> None:
         self.packets_delivered += 1
@@ -73,6 +90,8 @@ class NocStats:
         key = str(packet.traffic_class)
         self.payload_bytes[key] = self.payload_bytes.get(key, 0) + packet.payload_bytes
         self.latency_sum += packet.latency
+        if packet.corrupted:
+            self.packets_corrupted += 1
 
     @property
     def mean_packet_latency(self) -> float:
@@ -80,12 +99,15 @@ class NocStats:
 
 
 class NocSimulator:
-    def __init__(self, mesh: Mesh | None = None) -> None:
+    def __init__(self, mesh: Mesh | None = None, faults=None) -> None:
         self.mesh = mesh or Mesh()
         self.nics = [NetworkInterface(i) for i in range(self.mesh.num_nodes)]
         self.nodes: dict[int, Node] = {}
         self.stats = NocStats()
         self.cycle = 0
+        #: optional FlitFaultInjector-protocol object (duck-typed so the
+        #: noc package stays importable without repro.resilience)
+        self.faults = faults
 
     def attach_node(self, node: Node) -> None:
         if node.node_id in self.nodes:
@@ -134,6 +156,12 @@ class NocSimulator:
                         )
                     self.mesh.routers[neighbor_id].accept(flit, OPPOSITE[out_port], self.cycle)
                     self.stats.flit_hops += 1
+                    if self.faults is not None and self.faults.corrupt_hop():
+                        # link-level data damage: the flit train still
+                        # flows (wormhole reservations must drain), but
+                        # the payload arrives poisoned
+                        flit.packet.corrupted = True
+                        self.stats.flits_corrupted += 1
                     key = (router.node_id, out_port)
                     self.stats.link_flits[key] = self.stats.link_flits.get(key, 0) + 1
                     self.stats.buffer_writes += 1

@@ -1,0 +1,58 @@
+"""Fault injection and resilience for the compressed-weight path.
+
+The system's premise is that weights live and travel in compressed form
+(main memory -> NoC -> on-PE decompression), so a single corrupted
+⟨m, q, len⟩ segment silently poisons an entire regenerated
+sub-succession — an error-amplification property this package makes
+measurable and defensible:
+
+* :mod:`~repro.resilience.inject` — deterministic, seeded fault
+  injectors: bit flips in payloads and raw weight streams, flit
+  corruption/drop for the NoC, crash/hang/kill injectors for runtime
+  pool workers;
+* :mod:`~repro.resilience.integrity` — CRC32 checksums for
+  :class:`~repro.core.codecs.base.CompressedBlob` payloads, layered on
+  the per-frame CRC framing of the version-3 wire format
+  (:mod:`repro.core.codec`);
+* :mod:`~repro.resilience.degrade` — graceful-degradation decode:
+  salvage the undamaged frames of a corrupted line-fit payload and
+  zero-fill the rest, instead of losing the whole layer.
+
+The measurement side is ``python -m repro.experiments
+fig_fault_campaign`` (bit-error rate x delta, compressed vs raw
+storage).  Error types live in :mod:`repro.core.errors`
+(``CodecError`` > ``IntegrityError`` / ``FaultError``).
+"""
+
+from ..core.errors import CodecError, FaultError, IntegrityError
+from .degrade import DamageReport, decode_degraded
+from .inject import (
+    BitFlipInjector,
+    FlitFaultInjector,
+    crash,
+    crash_once,
+    digest,
+    hang_once,
+    kill_once,
+    kill_worker,
+)
+from .integrity import payload_crc32, verify_blob, with_checksum
+
+__all__ = [
+    "CodecError",
+    "IntegrityError",
+    "FaultError",
+    "BitFlipInjector",
+    "FlitFaultInjector",
+    "digest",
+    "crash",
+    "crash_once",
+    "hang_once",
+    "kill_once",
+    "kill_worker",
+    "payload_crc32",
+    "verify_blob",
+    "with_checksum",
+    "DamageReport",
+    "decode_degraded",
+]

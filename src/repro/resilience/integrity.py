@@ -1,0 +1,43 @@
+"""Payload checksums for :class:`~repro.core.codecs.base.CompressedBlob`.
+
+Two integrity layers protect a compressed layer at rest and in flight:
+
+1. the **wire format's own framing** (version 3 of
+   :mod:`repro.core.codec`): header CRC plus per-frame CRC32s over
+   segment groups — line-fit payloads only, but damage-localizing;
+2. the **blob checksum** here: one CRC32 over the whole payload, stored
+   in the blob's JSON ``meta`` (key ``"crc32"``), codec-agnostic.  This
+   is what :func:`repro.core.model_store.compress_model` persists per
+   layer and what :meth:`ModelArchive.apply` verifies before decoding.
+
+Blobs and archives written before this layer existed carry no checksum
+and verify vacuously — the legacy fallback.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..core.codecs.base import CHECKSUM_KEY, CompressedBlob
+
+__all__ = ["CHECKSUM_KEY", "payload_crc32", "with_checksum", "verify_blob"]
+
+
+def payload_crc32(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def with_checksum(blob: CompressedBlob) -> CompressedBlob:
+    """A copy of ``blob`` whose ``meta`` records the payload CRC32."""
+    return blob.with_checksum()
+
+
+def verify_blob(blob: CompressedBlob, context: str = "") -> bool:
+    """Check the blob's payload against its recorded checksum.
+
+    Returns ``True`` when a checksum was present and matched, ``False``
+    when the blob predates checksumming (nothing to verify — legacy
+    fallback).  Raises :class:`~repro.core.errors.IntegrityError` on a
+    mismatch.
+    """
+    return blob.verify(context)

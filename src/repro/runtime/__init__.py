@@ -13,7 +13,10 @@ execute:
   evaluation-set fingerprint) living next to the trained-weight cache,
   consulted *before* dispatch so warm sweeps run zero tasks;
 * :class:`Timings` counts tasks run, cache hits, and in-task seconds —
-  the counters experiments print so you can see what was skipped.
+  the counters experiments print so you can see what was skipped;
+* :class:`RunPolicy` opts a :func:`run_tasks` call into fault handling:
+  per-task timeouts, bounded retry with backoff, ``BrokenProcessPool``
+  recovery via serial re-dispatch, and partial-result salvage.
 """
 
 from .cache import MISS, ResultCache, results_cache_enabled
@@ -24,7 +27,7 @@ from .keys import (
     fingerprint_bytes,
     result_key,
 )
-from .pool import GridTask, Timings, default_jobs, run_tasks
+from .pool import GridTask, RunPolicy, Timings, default_jobs, run_tasks
 
 __all__ = [
     "MISS",
@@ -36,6 +39,7 @@ __all__ = [
     "fingerprint_bytes",
     "result_key",
     "GridTask",
+    "RunPolicy",
     "Timings",
     "default_jobs",
     "run_tasks",

@@ -10,8 +10,11 @@ evaluation set and you address a different entry; stale files are never
 *wrong*, merely unreachable.
 
 Writes are atomic (temp file + ``os.replace``), so a sweep killed
-mid-write never leaves a truncated entry behind; unreadable or corrupt
-files count as misses and are overwritten on the next ``put``.
+mid-write never leaves a truncated entry behind.  An entry that exists
+but cannot be read back (truncated by an external writer, bit-rotted,
+hand-edited) is *quarantined* — moved aside to ``<key>.corrupt`` — and
+treated as a miss, so the next ``put`` rebuilds it and the damaged bytes
+stay on disk for inspection instead of being silently clobbered.
 
 ``REPRO_RESULT_CACHE=0`` disables the cache process-wide (every ``get``
 misses, every ``put`` is dropped) — the knob for forcing cold runs.
@@ -64,20 +67,39 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside so it stops shadowing the key."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return  # racing readers: someone else already moved it
+        self.quarantined += 1
+
     def get(self, key: str):
-        """The cached value for ``key``, or :data:`MISS`."""
+        """The cached value for ``key``, or :data:`MISS`.
+
+        A present-but-unreadable entry (truncated JSON, undecodable
+        document) is quarantined to ``<key>.corrupt`` and reported as a
+        miss; a simply absent entry is a plain miss.
+        """
         if not self.enabled:
             self.misses += 1
             return MISS
+        path = self._path(key)
         try:
-            with open(self._path(key), encoding="utf-8") as f:
+            with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
             value = decode(doc["value"])
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self._quarantine(path)
             self.misses += 1
             return MISS
         self.hits += 1
@@ -110,4 +132,5 @@ class ResultCache:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_puts": self.puts,
+            "cache_quarantined": self.quarantined,
         }

@@ -16,6 +16,15 @@ the accelerator model.  :func:`run_tasks` fans such a grid over a
 Job count resolution: explicit ``jobs=`` kwarg, else the ``REPRO_JOBS``
 environment variable, else 1.  Task functions must be module-level
 (picklable) and deterministic; exceptions propagate to the caller.
+
+Resilience: pass a :class:`RunPolicy` to opt into fault handling —
+per-task timeouts (a hung worker no longer wedges the sweep), bounded
+retry with exponential backoff, ``BrokenProcessPool`` recovery (a killed
+worker's unfinished tasks re-dispatch serially, completed results are
+salvaged from the abandoned pool), and optional partial-result salvage
+(``salvage=True`` turns an exhausted task into a ``None`` slot instead
+of an exception).  Without a policy the original strict semantics hold:
+the first task exception propagates unchanged.
 """
 
 from __future__ import annotations
@@ -23,13 +32,18 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .cache import MISS, ResultCache
 
-__all__ = ["GridTask", "Timings", "default_jobs", "run_tasks"]
+__all__ = ["GridTask", "RunPolicy", "Timings", "default_jobs", "run_tasks"]
+
+#: marks a task that exhausted its attempts under ``salvage=True``
+_FAILED = object()
 
 
 def default_jobs() -> int:
@@ -49,6 +63,47 @@ class GridTask:
     fn: Callable[..., Any]
     args: tuple = ()
     key: str | None = None
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Fault-handling contract for one :func:`run_tasks` call.
+
+    Parameters
+    ----------
+    timeout:
+        Per-task wall-clock budget in seconds while waiting on pool
+        results (``None`` = wait forever, the strict default).  On
+        expiry the pool is *abandoned* — already-finished results are
+        salvaged, unfinished tasks re-dispatch serially in the caller's
+        process — because a hung worker cannot be reliably killed
+        through ``concurrent.futures``.  Only effective with ``jobs >
+        1``; a serial run executes in-process where no watchdog exists.
+    retries:
+        Extra attempts granted to a task whose attempt *raised* (crash
+        injection, flaky I/O).  ``0`` keeps fail-fast semantics.
+    backoff:
+        Base sleep before retry ``k`` (``backoff * 2**k`` seconds);
+        keep at 0 in tests.
+    salvage:
+        With ``True``, a task that exhausts every attempt yields
+        ``None`` in the result list (and a ``tasks_failed`` count)
+        instead of raising — the sweep completes on the surviving grid
+        points.
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.0
+    salvage: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
 
 
 @dataclass
@@ -96,13 +151,101 @@ def _timed_call(fn: Callable[..., Any], args: tuple) -> tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
+def _serial_attempts(
+    task: GridTask,
+    policy: RunPolicy,
+    timings: Timings,
+    prior_exc: BaseException | None = None,
+) -> tuple[Any, float]:
+    """Run one task in-process under the retry budget.
+
+    ``prior_exc`` carries a failure from an earlier pool attempt: it
+    consumes the *first* attempt, so the serial passes are retries (and
+    with ``retries=0`` the original exception re-raises immediately).
+    """
+    attempts = policy.retries if prior_exc is not None else 1 + policy.retries
+    exc = prior_exc
+    for k in range(attempts):
+        if exc is not None:
+            timings.add("task_retries")
+            if policy.backoff:
+                time.sleep(policy.backoff * (2**k))
+        try:
+            return _timed_call(task.fn, task.args)
+        except Exception as e:  # noqa: BLE001 - retry boundary
+            exc = e
+    if policy.salvage:
+        timings.add("tasks_failed")
+        return _FAILED, 0.0
+    raise exc
+
+
+def _run_with_policy(
+    tasks: list[GridTask],
+    pending: list[int],
+    jobs: int,
+    policy: RunPolicy,
+    timings: Timings,
+) -> dict[int, tuple[Any, float]]:
+    """Fault-tolerant execution of the pending grid points.
+
+    One pool attempt per task; the first timeout or broken-pool event
+    abandons the pool (salvaging finished futures) and everything still
+    unfinished re-dispatches serially under the retry budget.
+    """
+    outcomes: dict[int, tuple[Any, float]] = {}
+    failures: dict[int, BaseException] = {}
+    if jobs > 1 and len(pending) > 1:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        futures = {i: pool.submit(_timed_call, tasks[i].fn, tasks[i].args) for i in pending}
+        healthy = True
+        for i in pending:
+            try:
+                outcomes[i] = futures[i].result(timeout=policy.timeout)
+            except (FuturesTimeout, TimeoutError):
+                timings.add("task_timeouts")
+                healthy = False
+                break
+            except BrokenProcessPool:
+                timings.add("pool_restarts")
+                healthy = False
+                break
+            except Exception as exc:  # noqa: BLE001 - handed to the retry budget
+                failures[i] = exc
+        if healthy:
+            pool.shutdown()
+        else:
+            # salvage results that finished before the pool went bad,
+            # then walk away — a hung/killed worker can't be joined
+            for i, fut in futures.items():
+                if i not in outcomes and fut.done() and not fut.cancelled():
+                    try:
+                        outcomes[i] = fut.result(timeout=0)
+                    except Exception as exc:  # noqa: BLE001
+                        if not isinstance(exc, BrokenProcessPool):
+                            failures[i] = exc
+            pool.shutdown(wait=False, cancel_futures=True)
+    # serial (re-)dispatch: everything never pooled, timed out,
+    # cancelled, lost to the broken pool, or failed and owed retries
+    for i in pending:
+        if i not in outcomes:
+            outcomes[i] = _serial_attempts(tasks[i], policy, timings, failures.get(i))
+    return outcomes
+
+
 def run_tasks(
     tasks: list[GridTask],
     jobs: int | None = None,
     cache: ResultCache | None = None,
     timings: Timings | None = None,
+    policy: RunPolicy | None = None,
 ) -> list[Any]:
-    """Run a grid, in order, with optional parallelism and caching."""
+    """Run a grid, in order, with optional parallelism and caching.
+
+    ``policy`` opts into fault handling (timeouts, retries, salvage);
+    see :class:`RunPolicy`.  Without one, the first exception propagates
+    and no recovery is attempted — the strict historical contract.
+    """
     timings = timings if timings is not None else Timings()
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     start = time.perf_counter()
@@ -120,18 +263,23 @@ def run_tasks(
             timings.add("cache_hits")
 
     if pending:
-        if jobs == 1 or len(pending) == 1:
-            outcomes = [_timed_call(tasks[i].fn, tasks[i].args) for i in pending]
+        if policy is not None:
+            outcomes = _run_with_policy(tasks, pending, jobs, policy, timings)
+            ordered = [outcomes[i] for i in pending]
+        elif jobs == 1 or len(pending) == 1:
+            ordered = [_timed_call(tasks[i].fn, tasks[i].args) for i in pending]
         else:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                outcomes = list(
+                ordered = list(
                     pool.map(
                         _timed_call,
                         [tasks[i].fn for i in pending],
                         [tasks[i].args for i in pending],
                     )
                 )
-        for i, (result, seconds) in zip(pending, outcomes):
+        for i, (result, seconds) in zip(pending, ordered):
+            if result is _FAILED:
+                continue  # salvage mode: leave the slot as None, never cache
             results[i] = result
             timings.add("tasks_run")
             timings.add("task_seconds", seconds)

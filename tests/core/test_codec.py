@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import codec
-from repro.core.codec import CodecError
+from repro.core.codec import CodecError, IntegrityError
 from repro.core.compression import StorageFormat, compress_percent
 
 
@@ -38,11 +38,28 @@ class TestRoundTrip:
         back = codec.decode(codec.encode(stream))
         np.testing.assert_array_equal(back.decompress(), stream.decompress())
 
-    def test_blob_size_is_header_plus_segments(self, rng):
+    def test_blob_size_is_header_plus_segments_plus_trailer(self, rng):
         w = rng.normal(size=1000).astype(np.float32)
         stream = compress_percent(w, 0.0)
         blob = codec.encode(stream)
-        assert len(blob) == codec.HEADER_BYTES + stream.compressed_bytes
+        assert len(blob) == (
+            codec.HEADER_BYTES
+            + stream.compressed_bytes
+            + codec.frame_trailer_bytes(stream.num_segments)
+        )
+
+    def test_legacy_blob_size_is_header_plus_segments(self, rng):
+        w = rng.normal(size=1000).astype(np.float32)
+        stream = compress_percent(w, 0.0)
+        blob = codec.encode_legacy(stream)
+        assert len(blob) == codec.LEGACY_HEADER_BYTES + stream.compressed_bytes
+
+    def test_legacy_v2_messages_still_decode(self, rng):
+        w = rng.normal(size=2000).astype(np.float32)
+        stream = compress_percent(w, 10.0)
+        back = codec.decode(codec.encode_legacy(stream))
+        np.testing.assert_array_equal(back.decompress(), stream.decompress())
+        assert back.delta == stream.delta
 
     def test_empty_stream(self):
         stream = compress_percent(np.array([], dtype=np.float32), 0.0)
@@ -121,3 +138,109 @@ class TestCodecErrorType:
         blob = self._blob(rng)
         with pytest.raises(CodecError, match="size mismatch"):
             codec.decode(bytes(blob) + b"\x00\x00")
+
+
+class TestIntegrityFraming:
+    """Version-3 CRC framing: detection, localization, lenient parsing."""
+
+    def _stream(self, rng, n=400, pct=5.0):
+        return compress_percent(rng.normal(size=n).astype(np.float32), pct)
+
+    def test_every_single_bit_flip_is_detected(self, rng):
+        stream = self._stream(rng, n=50, pct=0.0)
+        blob = codec.encode(stream)
+        for bit in range(len(blob) * 8):
+            damaged = bytearray(blob)
+            damaged[bit >> 3] ^= 0x80 >> (bit & 7)
+            with pytest.raises(CodecError):
+                codec.decode(bytes(damaged))
+
+    def test_integrity_error_reports_damaged_segments(self, rng):
+        stream = self._stream(rng)
+        blob = bytearray(codec.encode(stream))
+        # hit a body byte inside the second frame
+        target = codec.HEADER_BYTES + (codec.SEGMENTS_PER_FRAME + 3) * stream.fmt.segment_bytes
+        blob[target] ^= 0xFF
+        with pytest.raises(IntegrityError, match="frame checksum") as exc:
+            codec.decode(bytes(blob))
+        segs = exc.value.segments
+        assert segs
+        assert all(
+            codec.SEGMENTS_PER_FRAME <= s < 2 * codec.SEGMENTS_PER_FRAME for s in segs
+        )
+
+    def test_integrity_error_is_codec_error(self):
+        assert issubclass(IntegrityError, CodecError)
+
+    def test_lenient_localizes_body_damage_to_one_frame(self, rng):
+        stream = self._stream(rng)
+        blob = bytearray(codec.encode(stream))
+        target = codec.HEADER_BYTES + 2 * stream.fmt.segment_bytes
+        blob[target] ^= 0x01
+        parsed = codec.parse_lenient(bytes(blob))
+        damaged = np.flatnonzero(parsed.damaged)
+        assert damaged.size
+        assert damaged.max() < codec.SEGMENTS_PER_FRAME  # first frame only
+        assert parsed.num_segments == stream.num_segments
+
+    def test_lenient_survives_header_crc_damage(self, rng):
+        # a flip in the stored header CRC must not void the whole message
+        stream = self._stream(rng)
+        blob = bytearray(codec.encode(stream))
+        blob[11] ^= 0x10  # inside the u32 header-CRC field
+        with pytest.raises(IntegrityError):
+            codec.decode(bytes(blob))
+        parsed = codec.parse_lenient(bytes(blob))
+        assert not parsed.damaged.any()  # body is pristine
+
+    def test_lenient_trailer_damage_flags_only_its_frame(self, rng):
+        stream = self._stream(rng)
+        blob = bytearray(codec.encode(stream))
+        blob[-1] ^= 0x01  # last trailer CRC -> last frame suspect
+        parsed = codec.parse_lenient(bytes(blob))
+        damaged = np.flatnonzero(parsed.damaged)
+        assert damaged.size
+        assert damaged.min() >= (stream.num_segments - 1) // codec.SEGMENTS_PER_FRAME * (
+            codec.SEGMENTS_PER_FRAME
+        )
+
+    def test_clean_message_parses_lenient_with_no_damage(self, rng):
+        stream = self._stream(rng)
+        parsed = codec.parse_lenient(codec.encode(stream))
+        assert not parsed.damaged.any()
+        np.testing.assert_array_equal(parsed.lengths, stream.lengths)
+
+
+class TestBoundsValidation:
+    """Strict validation of decoded (m, q, len) triples."""
+
+    def test_overrun_names_the_offending_segment(self, rng):
+        stream = compress_percent(rng.normal(size=500).astype(np.float32), 5.0)
+        blob = codec.encode(stream)
+        declared = int(stream.lengths.sum()) - 1  # one weight short
+        with pytest.raises(CodecError, match=r"segment \d+ overruns") as exc:
+            codec.decode(blob, expected_weights=declared)
+        assert str(declared) in str(exc.value)
+
+    def test_short_sum_is_rejected(self, rng):
+        stream = compress_percent(rng.normal(size=500).astype(np.float32), 5.0)
+        blob = codec.encode(stream)
+        declared = int(stream.lengths.sum()) + 10
+        with pytest.raises(CodecError, match="sum to"):
+            codec.decode(blob, expected_weights=declared)
+
+    def test_exact_sum_passes(self, rng):
+        stream = compress_percent(rng.normal(size=500).astype(np.float32), 5.0)
+        blob = codec.encode(stream)
+        back = codec.decode(blob, expected_weights=int(stream.lengths.sum()))
+        assert back.num_weights == int(stream.lengths.sum())
+
+    def test_legacy_zero_length_segment_rejected(self, rng):
+        # v2 has no CRCs, but bounds validation still applies
+        stream = compress_percent(rng.normal(size=200).astype(np.float32), 0.0)
+        blob = bytearray(codec.encode_legacy(stream))
+        # zero out the u16 length field of segment 0
+        off = codec.LEGACY_HEADER_BYTES + stream.fmt.segment_bytes - 2
+        blob[off : off + 2] = b"\x00\x00"
+        with pytest.raises(CodecError, match="non-positive length"):
+            codec.decode(bytes(blob))

@@ -25,6 +25,7 @@ class TestRegistry:
     def test_all_artifacts_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig2", "fig3", "tab1", "tab2", "fig9", "fig10", "tab3",
+            "fig_fault_campaign",
         }
 
     def test_every_experiment_has_run_and_render(self):

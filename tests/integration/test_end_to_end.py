@@ -63,7 +63,7 @@ class TestFullFlow:
         """The byte volume the accelerator simulates for the compressed
         layer equals the actual codec output size (minus the O(1) header)."""
         _, _, acc, spec = system
-        from repro.core.codec import HEADER_BYTES
+        from repro.core.codec import HEADER_BYTES, frame_trailer_bytes
         from repro.noc.flit import TrafficClass
 
         w = spec.materialize("dense_1").ravel()
@@ -76,7 +76,13 @@ class TestFullFlow:
             for t in sched.transfers
             if t.traffic_class is TrafficClass.WEIGHTS
         )
-        actual = len(encode(stream)) - HEADER_BYTES
+        # the O(1) header and the integrity trailer are excluded from the
+        # CR accounting (and thus from the simulated traffic volume)
+        actual = (
+            len(encode(stream))
+            - HEADER_BYTES
+            - frame_trailer_bytes(stream.num_segments)
+        )
         assert simulated == pytest.approx(actual, rel=0.02)
 
     def test_accuracy_latency_energy_all_move_as_claimed(self, system):

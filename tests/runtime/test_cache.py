@@ -77,6 +77,32 @@ class TestResultCache:
         path.write_text("{truncated")
         assert cache.get("b" * 64) is MISS
 
+    def test_corrupt_entry_is_quarantined_not_clobbered(self, tmp_path):
+        """A hand-truncated entry moves aside to *.corrupt, the key reads
+        as a miss, and the next put repopulates it cleanly."""
+        cache = ResultCache(tmp_path, enabled=True)
+        key = "b" * 64
+        cache.put(key, RECORD)
+        path = cache._path(key)
+        truncated = path.read_text()[: len(path.read_text()) // 2]
+        path.write_text(truncated)
+
+        assert cache.get(key) is MISS
+        assert cache.quarantined == 1
+        assert cache.counters()["cache_quarantined"] == 1
+        quarantine = path.with_suffix(".corrupt")
+        assert quarantine.exists()
+        assert quarantine.read_text() == truncated  # damage kept for autopsy
+        assert not path.exists()
+
+        cache.put(key, RECORD)
+        assert cache.get(key) == RECORD
+
+    def test_absent_entry_is_plain_miss_not_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        assert cache.get("e" * 64) is MISS
+        assert cache.quarantined == 0
+
     def test_wrong_schema_is_miss(self, tmp_path):
         cache = ResultCache(tmp_path, enabled=True)
         path = cache._path("c" * 64)

@@ -1,0 +1,201 @@
+"""Pool resilience: timeouts, retries, crash recovery, salvage.
+
+Every scenario is driven by the deterministic injectors from
+``repro.resilience`` (sentinel-file one-shot faults), so the tests need
+no flaky timing games and no sleep longer than ~1 second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FaultError
+from repro.resilience import crash, crash_once, hang_once, kill_once
+from repro.runtime import GridTask, ResultCache, RunPolicy, Timings, run_tasks
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _grid(n: int) -> list[GridTask]:
+    return [GridTask(fn=_square, args=(i,)) for i in range(n)]
+
+
+class TestRunPolicyValidation:
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            RunPolicy(timeout=0)
+
+    def test_bad_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            RunPolicy(retries=-1)
+
+    def test_bad_backoff(self):
+        with pytest.raises(ValueError, match="backoff"):
+            RunPolicy(backoff=-0.5)
+
+    def test_defaults_are_strict(self):
+        policy = RunPolicy()
+        assert policy.timeout is None
+        assert policy.retries == 0
+        assert not policy.salvage
+
+
+class TestRetry:
+    def test_crash_once_recovers_serially(self, tmp_path):
+        sentinel = str(tmp_path / "s")
+        timings = Timings()
+        tasks = _grid(3) + [GridTask(fn=crash_once, args=(sentinel, 42))]
+        results = run_tasks(
+            tasks, jobs=1, timings=timings, policy=RunPolicy(retries=1)
+        )
+        assert results == [0, 1, 4, 42]
+        assert timings.counters["task_retries"] == 1
+
+    def test_crash_once_recovers_in_parallel(self, tmp_path):
+        sentinel = str(tmp_path / "s")
+        timings = Timings()
+        tasks = _grid(3) + [GridTask(fn=crash_once, args=(sentinel, 42))]
+        results = run_tasks(
+            tasks, jobs=2, timings=timings, policy=RunPolicy(retries=1)
+        )
+        assert results == [0, 1, 4, 42]
+        assert timings.counters["task_retries"] == 1
+
+    def test_retries_exhausted_raises_original(self):
+        with pytest.raises(FaultError, match="injected worker crash"):
+            run_tasks(
+                [GridTask(fn=crash, args=())], jobs=1, policy=RunPolicy(retries=2)
+            )
+
+    def test_no_retries_is_fail_fast(self, tmp_path):
+        sentinel = str(tmp_path / "s")
+        with pytest.raises(FaultError):
+            run_tasks(
+                [GridTask(fn=crash_once, args=(sentinel, 1))],
+                jobs=1,
+                policy=RunPolicy(),
+            )
+
+
+class TestSalvage:
+    def test_exhausted_task_becomes_none_slot(self):
+        timings = Timings()
+        tasks = [GridTask(fn=crash, args=())] + _grid(3)
+        results = run_tasks(
+            tasks, jobs=1, timings=timings, policy=RunPolicy(salvage=True)
+        )
+        assert results == [None, 0, 1, 4]
+        assert timings.counters["tasks_failed"] == 1
+        assert timings.counters["tasks_run"] == 3
+
+    def test_failed_slots_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", enabled=True)
+        key = "f" * 64
+        tasks = [GridTask(fn=crash, args=(), key=key)]
+        results = run_tasks(
+            tasks, jobs=1, cache=cache, policy=RunPolicy(salvage=True)
+        )
+        assert results == [None]
+        assert cache.puts == 0
+
+
+class TestTimeout:
+    def test_hung_task_is_abandoned_and_redispatched(self, tmp_path):
+        sentinel = str(tmp_path / "hang")
+        timings = Timings()
+        tasks = [GridTask(fn=hang_once, args=(sentinel, 1.0, "slow"))] + _grid(3)
+        results = run_tasks(
+            tasks,
+            jobs=2,
+            timings=timings,
+            policy=RunPolicy(timeout=0.25, retries=1),
+        )
+        # the retry after the timeout sees the sentinel and returns fast
+        assert results == ["slow", 0, 1, 4]
+        assert timings.counters["task_timeouts"] == 1
+
+    def test_finished_results_salvaged_from_abandoned_pool(self, tmp_path):
+        sentinel = str(tmp_path / "hang")
+        timings = Timings()
+        tasks = [GridTask(fn=hang_once, args=(sentinel, 1.0, "slow"))] + _grid(5)
+        results = run_tasks(
+            tasks,
+            jobs=3,
+            timings=timings,
+            policy=RunPolicy(timeout=0.25, retries=1),
+        )
+        assert results == ["slow", 0, 1, 4, 9, 16]
+        # every grid point ran exactly once somewhere
+        assert timings.counters["tasks_run"] == 6
+
+    def test_serial_run_ignores_timeout(self, tmp_path):
+        # in-process execution has no watchdog; the task just runs
+        sentinel = str(tmp_path / "hang")
+        results = run_tasks(
+            [GridTask(fn=hang_once, args=(sentinel, 0.1, "v"))],
+            jobs=1,
+            policy=RunPolicy(timeout=0.25),
+        )
+        assert results == ["v"]
+
+
+class TestBrokenPool:
+    def test_killed_worker_recovers_serially(self, tmp_path):
+        sentinel = str(tmp_path / "kill")
+        timings = Timings()
+        tasks = [GridTask(fn=kill_once, args=(sentinel, "back"))] + _grid(3)
+        results = run_tasks(
+            tasks, jobs=2, timings=timings, policy=RunPolicy(retries=1)
+        )
+        assert results == ["back", 0, 1, 4]
+        assert timings.counters["pool_restarts"] == 1
+
+    def test_strict_default_policy_still_propagates(self):
+        # without a policy the historical contract holds: first
+        # exception propagates, no recovery
+        with pytest.raises(FaultError):
+            run_tasks([GridTask(fn=crash, args=())], jobs=1)
+
+
+class TestCombinedFaults:
+    def test_crash_and_hang_in_one_sweep(self, tmp_path):
+        """The acceptance scenario: one killed worker AND one hung task
+        in the same sweep — it still completes with correct results and
+        the timings report the recovery work."""
+        crash_s = str(tmp_path / "crash")
+        hang_s = str(tmp_path / "hang")
+        timings = Timings()
+        tasks = (
+            _grid(3)
+            + [GridTask(fn=crash_once, args=(crash_s, "crashed"))]
+            + [GridTask(fn=hang_once, args=(hang_s, 1.0, "hung"))]
+            + _grid(2)
+        )
+        results = run_tasks(
+            tasks,
+            jobs=2,
+            timings=timings,
+            policy=RunPolicy(timeout=0.25, retries=2),
+        )
+        assert results == [0, 1, 4, "crashed", "hung", 0, 1]
+        assert timings.counters["task_retries"] >= 1
+        assert timings.counters["tasks_run"] == 7
+
+
+class TestCacheInteraction:
+    def test_warm_cache_skips_faulty_tasks_entirely(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", enabled=True)
+        key = "a" * 64
+        cache.put(key, "cached")
+        timings = Timings()
+        results = run_tasks(
+            [GridTask(fn=crash, args=(), key=key)],
+            jobs=1,
+            cache=cache,
+            timings=timings,
+            policy=RunPolicy(),
+        )
+        assert results == ["cached"]
+        assert timings.counters["cache_hits"] == 1
