@@ -29,13 +29,11 @@ class TestWeakVsStrictMonotonicity:
         gaussian = rng.normal(size=n).astype(np.float32)
 
         def sweep():
-            rows = []
-            for name, w in (("adversarial", adversarial), ("gaussian", gaussian)):
-                for pct in (0, 5, 15, 30):
-                    rows.append(
-                        [name, f"{pct}%", compress_percent(w, pct).compression_ratio]
-                    )
-            return rows
+            return [
+                [name, f"{pct}%", compress_percent(w, pct).compression_ratio]
+                for name, w in (("adversarial", adversarial), ("gaussian", gaussian))
+                for pct in (0, 5, 15, 30)
+            ]
 
         rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
         save_artifact(

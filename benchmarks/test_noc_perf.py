@@ -1,0 +1,113 @@
+"""Perf smoke: guard the NoC fast path against throughput regressions.
+
+``BENCH_noc.json`` is the committed baseline: wall-clock for the two
+characterization workloads on the recording host, before and after the
+fast-path rework, plus a calibration constant (a fixed pure-Python spin
+timed on the same host).  This test re-times the workloads and fails if
+either runs more than 2x slower than the recorded post-rework time —
+after scaling the budget by how much slower *this* host runs the
+calibration spin, so a slow CI runner doesn't trip the guard and a fast
+one doesn't mask a real regression.
+
+The calibration spin deliberately shares no code with the simulator:
+calibrating against the simulator itself would scale the budget up by
+exactly the regression being hunted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.mapping import Accelerator
+from repro.noc import (
+    Mesh,
+    MemoryInterface,
+    NocSimulator,
+    PETask,
+    ProcessingElement,
+    ReadJob,
+)
+from repro.noc.patterns import characterize, transpose, uniform_random
+from repro.nn import zoo
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_noc.json"
+BASELINE = json.loads(BASELINE_PATH.read_text())
+
+#: fail when a workload runs more than this factor slower than the
+#: committed (machine-scaled) baseline
+MAX_SLOWDOWN = 2.0
+
+
+def _spin(n: int = 2_000_000) -> int:
+    acc = 0
+    for i in range(n):
+        acc += i * i
+    return acc
+
+
+@pytest.fixture(scope="module")
+def machine_scale() -> float:
+    """This host's speed relative to the baseline-recording host."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _spin()
+        best = min(best, time.perf_counter() - t0)
+    return best / BASELINE["calibration_seconds"]
+
+
+def _budget(name: str, machine_scale: float) -> float:
+    return BASELINE["benchmarks"][name]["post_seconds"] * machine_scale * MAX_SLOWDOWN
+
+
+def _assert_within_budget(name, elapsed, machine_scale):
+    budget = _budget(name, machine_scale)
+    assert elapsed <= budget, (
+        f"{name}: {elapsed:.3f}s exceeds {budget:.3f}s "
+        f"(committed baseline {BASELINE['benchmarks'][name]['post_seconds']}s "
+        f"x machine scale {machine_scale:.2f} x slowdown guard {MAX_SLOWDOWN}) — "
+        f"the NoC fast path has regressed by more than {MAX_SLOWDOWN}x; "
+        "if the slowdown is intentional, re-record benchmarks/BENCH_noc.json"
+    )
+
+
+def test_latency_sweep_throughput(benchmark, machine_scale):
+    rates = (0.01, 0.03, 0.06, 0.10, 0.14)
+    duration = BASELINE["duration"]
+
+    def run():
+        characterize(uniform_random, rates, duration=duration)
+        characterize(transpose, rates, duration=duration)
+
+    t0 = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _assert_within_budget("noc_latency_sweep", time.perf_counter() - t0, machine_scale)
+
+
+def test_layer_hotspot_throughput(benchmark, machine_scale):
+    acc = Accelerator()
+    layer = zoo.lenet5.full().layer("dense_1")
+
+    def run():
+        sched = acc.schedule_layer(layer)
+        sim = NocSimulator(Mesh(4, 4))
+        mcs = {c: MemoryInterface(c) for c in sim.mesh.corner_ids()}
+        for mc in mcs.values():
+            sim.attach_node(mc)
+        for pe_id, (w, i, o, comp, dec, macs) in sched.pe_work.items():
+            pe = ProcessingElement(pe_id)
+            pe.assign(
+                PETask(w, i, o, sim.mesh.nearest_corner(pe_id), comp, dec, macs)
+            )
+            sim.attach_node(pe)
+        for job in sched.dram_reads():
+            mcs[job.mc].schedule_read(ReadJob(job.dsts, job.nbytes, job.traffic_class))
+        return sim.run()
+
+    t0 = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _assert_within_budget("noc_layer_hotspot", time.perf_counter() - t0, machine_scale)

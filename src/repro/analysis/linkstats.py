@@ -50,6 +50,8 @@ def link_utilization(stats: NocStats, mesh: Mesh) -> list[LinkUtilization]:
 
 def render_link_report(links: list[LinkUtilization], top: int = 10) -> str:
     lines = [f"{'link':<12}{'flits':>10}{'util':>8}"]
-    for l in links[:top]:
-        lines.append(f"{l.src:>2} -> {l.dst:<5}{l.flits:>10,}{l.utilization:>8.3f}")
+    lines.extend(
+        f"{l.src:>2} -> {l.dst:<5}{l.flits:>10,}{l.utilization:>8.3f}"
+        for l in links[:top]
+    )
     return "\n".join(lines)

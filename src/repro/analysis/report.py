@@ -36,8 +36,9 @@ def render_table(
         lines.append(title)
     lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     lines.append("  ".join("-" * w for w in widths))
-    for row in cells:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.extend(
+        "  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+    )
     return "\n".join(lines)
 
 

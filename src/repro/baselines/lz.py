@@ -102,7 +102,10 @@ def lz_decode(blob: bytes) -> bytes:
                 if dist == 0 or dist > len(out):
                     raise ValueError("corrupt LZ stream: bad distance")
                 start = len(out) - dist
-                for k in range(length):  # may self-overlap
+                # byte-at-a-time on purpose: an overlapping match copies
+                # bytes it is itself producing, which a snapshot slice
+                # (out.extend(out[start:start+length])) would truncate
+                for k in range(length):  # noqa: PERF401 - self-overlap
                     out.append(out[start + k])
             else:
                 out.append(blob[i])

@@ -109,8 +109,9 @@ def evaluate_with_compressed_activations(
             return out
         return _roundtrip(out, delta_pct)
 
-    outs = []
-    for start in range(0, len(x), batch_size):
-        outs.append(model.forward_transformed(x[start : start + batch_size], transform))
+    outs = [
+        model.forward_transformed(x[start : start + batch_size], transform)
+        for start in range(0, len(x), batch_size)
+    ]
     logits = np.concatenate(outs, axis=0)
     return topk_accuracy(logits, y, top_k)

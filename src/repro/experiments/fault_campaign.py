@@ -242,19 +242,18 @@ def run(
 
 
 def render(result: CampaignResult) -> str:
-    rows = []
-    for p in result.points:
-        rows.append(
-            [
-                p.arm,
-                f"{p.ber:.0e}",
-                "-" if p.delta_pct is None else f"x-{p.delta_pct:.0f}",
-                f"{p.accuracy:.4f}",
-                f"{p.accuracy - result.baseline_accuracy:+.4f}",
-                p.digest[:12],
-                p.detail,
-            ]
-        )
+    rows = [
+        [
+            p.arm,
+            f"{p.ber:.0e}",
+            "-" if p.delta_pct is None else f"x-{p.delta_pct:.0f}",
+            f"{p.accuracy:.4f}",
+            f"{p.accuracy - result.baseline_accuracy:+.4f}",
+            p.digest[:12],
+            p.detail,
+        ]
+        for p in result.points
+    ]
     return render_table(
         ["arm", "BER", "delta", "accuracy", "vs clean", "digest", "decode path"],
         rows,

@@ -43,7 +43,7 @@ class TrafficClass(str, Enum):
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One NoC message."""
 
@@ -73,9 +73,16 @@ class Packet:
         return self.delivered_cycle - self.injected_cycle
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
-    """One link-width unit in flight."""
+    """One link-width unit in flight.
+
+    ``dst``/``pid``/``is_head``/``is_tail`` are precomputed at
+    construction: the switch-allocation loop reads them once per
+    buffered flit per cycle, and attribute loads are several times
+    cheaper than the chained lookups / property + ``Enum`` membership
+    tests they replace.
+    """
 
     packet: Packet
     ftype: FlitType
@@ -85,18 +92,18 @@ class Flit:
     ready_cycle: int = 0
     #: virtual channel the packet rides end to end (assigned at injection)
     vc: int = 0
+    dst: int = field(init=False)
+    pid: int = field(init=False)
+    is_head: bool = field(init=False)
+    is_tail: bool = field(init=False)
 
-    @property
-    def dst(self) -> int:
-        return self.packet.dst
-
-    @property
-    def is_head(self) -> bool:
-        return self.ftype in (FlitType.HEAD, FlitType.HEADTAIL)
-
-    @property
-    def is_tail(self) -> bool:
-        return self.ftype in (FlitType.TAIL, FlitType.HEADTAIL)
+    def __post_init__(self) -> None:
+        packet = self.packet
+        self.dst = packet.dst
+        self.pid = packet.pid
+        ftype = self.ftype
+        self.is_head = ftype is FlitType.HEAD or ftype is FlitType.HEADTAIL
+        self.is_tail = ftype is FlitType.TAIL or ftype is FlitType.HEADTAIL
 
 
 def packetize(packet: Packet) -> list[Flit]:

@@ -89,6 +89,9 @@ class MemoryInterface(Node):
         if job.nbytes <= 0:
             raise ValueError(f"read of {job.nbytes} bytes")
         self._read_queue.append(job)
+        if self.sim is not None:
+            # the channel may be parked with nothing queued
+            self.sim.wake_node(self.node_id)
 
     # -- node protocol -----------------------------------------------------
     def on_packet(self, packet: Packet, cycle: int) -> None:
@@ -153,3 +156,20 @@ class MemoryInterface(Node):
             and not self._staged
             and self._cycle_seen >= self._busy_until
         )
+
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """Cycle-skipping hint: staged releases and channel dispatch.
+
+        Mirrors :meth:`step` exactly — a staged packet is sent at its
+        DRAM-release cycle, a queued job dispatches once the channel
+        frees, and one final step at ``_busy_until`` is needed for
+        :attr:`idle` to observe the channel going quiet.
+        """
+        events = []
+        if self._staged:
+            events.append(self._staged[0][0])
+        if self._write_queue or self._read_queue:
+            events.append(max(cycle, self._busy_until))
+        elif self._cycle_seen < self._busy_until:
+            events.append(self._busy_until)
+        return min(events) if events else None

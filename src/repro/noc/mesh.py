@@ -56,6 +56,13 @@ class Mesh:
         # ejection is sink-buffered: effectively infinite credit
         for r in self.routers:
             r.credits[LOCAL] = [1 << 30] * num_vcs
+        #: neighbor_table[node][port] -> neighbor id (None at the edge);
+        #: precomputed so the per-flit commit path does a tuple index
+        #: instead of re-deriving mesh geometry
+        self.neighbor_table: list[tuple[int | None, ...]] = [
+            tuple(self.neighbor(i, port) for port in range(5))
+            for i in range(self.num_nodes)
+        ]
 
     @property
     def num_nodes(self) -> int:

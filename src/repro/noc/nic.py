@@ -20,8 +20,11 @@ class NetworkInterface:
     per packet; when the tail lands the packet is delivered to the node.
     """
 
-    def __init__(self, node_id: int) -> None:
+    def __init__(self, node_id: int, num_vcs: int = 1) -> None:
         self.node_id = node_id
+        #: VC count of the attached router; packets keep one VC end to
+        #: end, assigned here (once, at enqueue) from the packet id
+        self.num_vcs = num_vcs
         self._inject_queue: deque[Flit] = deque()
         self._pending_flits: dict[int, int] = {}  # pid -> flits seen
         self.injected_packets = 0
@@ -34,7 +37,12 @@ class NetworkInterface:
                 f"packet src {packet.src} does not match NIC node {self.node_id}"
             )
         packet.injected_cycle = cycle
-        self._inject_queue.extend(packetize(packet))
+        flits = packetize(packet)
+        if self.num_vcs > 1:
+            vc = packet.pid % self.num_vcs
+            for flit in flits:
+                flit.vc = vc
+        self._inject_queue.extend(flits)
         self.injected_packets += 1
 
     def next_flit(self) -> Flit | None:

@@ -66,6 +66,15 @@ class PatternNode(Node):
 
     ``rate`` is the per-cycle probability of generating one
     ``payload_bytes`` packet during the warm/measurement window.
+
+    The per-cycle Bernoulli coins are drawn **vectorized at
+    construction** (one ``rng.random(duration)`` call) and reduced to
+    the list of fire cycles.  The injection *process* is unchanged —
+    i.i.d. per-cycle coins, same seed-reproducibility — but the node
+    only needs stepping at its precomputed fire cycles, which
+    :meth:`next_event_cycle` publishes so the simulator's node
+    scheduler can skip it everywhere else.  Destination draws (and any
+    pattern-internal draws) still happen at fire time, in fire order.
     """
 
     def __init__(
@@ -87,15 +96,21 @@ class PatternNode(Node):
         self.duration = duration
         self.payload_bytes = payload_bytes
         self.rng = np.random.default_rng(seed * 1009 + node_id)
+        #: window cycles whose Bernoulli coin came up heads
+        self._fires: list[int] = np.flatnonzero(
+            self.rng.random(duration) < rate
+        ).tolist()
+        self._fire_pos = 0
         self.generated = 0
         self.received: int = 0
-        self._cycle_seen = -1
 
     def step(self, cycle: int) -> None:
-        self._cycle_seen = cycle
-        if cycle >= self.duration:
-            return
-        if self.rng.random() < self.rate:
+        fires = self._fires
+        pos = self._fire_pos
+        # tolerate being stepped on non-fire cycles: the reference
+        # stepper calls every node every cycle
+        if pos < len(fires) and fires[pos] <= cycle:
+            self._fire_pos = pos + 1
             dst = self.pattern(self.node_id, self.num_nodes, self.rng)
             self.send(
                 Packet(self.node_id, dst, self.payload_bytes, TrafficClass.REQUEST),
@@ -108,9 +123,16 @@ class PatternNode(Node):
 
     @property
     def idle(self) -> bool:
-        # hold the liveness token until the generation window closes;
+        # hold the liveness token until the last fire has been injected;
         # in-flight flits then keep the simulator running on their own
-        return self._cycle_seen >= self.duration - 1
+        return self._fire_pos >= len(self._fires)
+
+    def next_event_cycle(self, cycle: int) -> int | None:
+        fires = self._fires
+        pos = self._fire_pos
+        if pos >= len(fires):
+            return None  # window exhausted: never acts again
+        return fires[pos]
 
 
 @dataclass(frozen=True)

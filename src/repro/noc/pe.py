@@ -74,9 +74,9 @@ class ProcessingElement(Node):
         self._compute_until = None
         self._requested = task.request_mc is None
         self._sent_output = task.ofmap_bytes == 0
-        if task.expect_weight_bytes == 0 and task.expect_ifmap_bytes == 0:
-            # compute-only task: start immediately at the next step
-            pass
+        if self.sim is not None:
+            # the node may be parked from a previous task's lifecycle
+            self.sim.wake_node(self.node_id)
 
     def _done(self) -> bool:
         return self.task is None or (
@@ -160,3 +160,20 @@ class ProcessingElement(Node):
             # waiting on the network; the MCs/NICs hold the liveness token
             return True
         return self._compute_until is not None and self._sent_output
+
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """Cycle-skipping hint: the compute timer is the only timed wait.
+
+        Request issue and compute start want a step immediately; while
+        the datapath runs, nothing happens until ``_compute_until``;
+        waiting on inputs (or having finished) needs no step at all —
+        a packet delivery re-activates the network anyway.
+        """
+        task = self.task
+        if task is None or (self._sent_output and self._compute_until is not None):
+            return None
+        if not self._requested:
+            return cycle
+        if self._compute_until is None:
+            return cycle if self._inputs_ready() else None
+        return self._compute_until

@@ -35,6 +35,10 @@ __all__ = ["PORT_NAMES", "LOCAL", "Router", "RouterStats"]
 NORTH, SOUTH, EAST, WEST, LOCAL = range(5)
 PORT_NAMES = ("north", "south", "east", "west", "local")
 
+#: ``poll_again_at`` sentinel: no internal event will ever unblock this
+#: router (an external accept or credit return must rearm it)
+NEVER = 1 << 62
+
 
 @dataclass
 class RouterStats:
@@ -81,6 +85,21 @@ class Router:
         self.buffers: list[list[deque[Flit]]] = [
             [deque() for _ in range(num_vcs)] for _ in range(5)
         ]
+        #: flattened (in_port, vc, fifo) view of ``buffers`` — the
+        #: switch-allocation loop walks one list instead of two nested
+        #: index chains (the fifos are shared, not copied)
+        self._lanes: list[tuple[int, int, deque[Flit]]] = [
+            (port, vc, self.buffers[port][vc])
+            for port in range(5)
+            for vc in range(num_vcs)
+        ]
+        #: dst -> out_port memo, only consulted under static routing
+        #: (dimension-order algorithms), where the mapping never changes
+        self._route_cache: dict[int, int] = {}
+        #: reusable per-output request slots for :meth:`plan_moves`
+        #: (cleared after every call; avoids a dict build per poll)
+        self._req_slots: list[list[tuple[int, int]] | None] = [None] * 5
+        self._routing_static: bool = bool(getattr(routing, "static", False))
         #: credits[out_port][vc] = free slots in the downstream buffer
         self.credits: list[list[int]] = [
             [buffer_depth] * num_vcs for _ in range(5)
@@ -92,7 +111,36 @@ class Router:
         self._worm_route: dict[int, int] = {}
         #: round-robin pointer per output port
         self._rr: list[int] = [0] * 5
+        #: event-gated polling hint: earliest cycle at which
+        #: :meth:`plan_moves` could possibly produce a move, assuming no
+        #: external event (flit arrival, credit return) occurs first.
+        #: Maintained by :meth:`plan_moves` and rearmed by
+        #: :meth:`accept` / :meth:`return_credit`; the simulator skips
+        #: planning while ``poll_again_at > cycle``.
+        self.poll_again_at = 0
         self.stats = RouterStats()
+        # -- single-VC fast path ------------------------------------------
+        # with one VC (the default mesh), lanes are just ports: flat
+        # per-port buffer/lock views replace the (port, vc) tuple
+        # machinery in switch allocation.  ``output_lock`` stays the
+        # canonical dict the tests read; ``_lock1`` mirrors it.
+        self._bufs1: list[deque[Flit]] = [self.buffers[p][0] for p in range(5)]
+        self._lock1: list[int | None] = [None] * 5
+        self._req1: list[list[int] | None] = [None] * 5
+        #: static (port, 0) tuples for dict keys/values — no allocation
+        self._pairs1: list[tuple[int, int]] = [(p, 0) for p in range(5)]
+        #: number of non-empty (port, vc) FIFOs; may read high (never
+        #: low) if buffers are manipulated behind the router's back, in
+        #: which case the streaming fast path just falls back to the
+        #: full scan
+        self._occupied_lanes = 0
+        #: input port of the most recent grant — the streaming fast
+        #: path's guess for the single occupied lane
+        self._last_lane = 0
+        #: hot-loop entry point: bound to the single-VC or generic
+        #: allocator at construction (the public :meth:`plan_moves`
+        #: delegates here; the simulator calls it directly)
+        self._plan_impl = self._plan_vc1 if num_vcs == 1 else self._plan_generic
 
     # -- geometry ----------------------------------------------------------
     def route(self, dst: int) -> int:
@@ -103,7 +151,14 @@ class Router:
         """Route with wormhole consistency: heads decide, bodies follow."""
         pid = flit.packet.pid
         if flit.is_head:
-            port = self.routing.route(self, flit.dst)
+            if self._routing_static:
+                dst = flit.dst
+                port = self._route_cache.get(dst)
+                if port is None:
+                    port = self.routing.route(self, dst)
+                    self._route_cache[dst] = port
+            else:
+                port = self.routing.route(self, flit.dst)
             if not flit.is_tail:
                 self._worm_route[pid] = port
             return port
@@ -126,9 +181,17 @@ class Router:
                 f"router {self.node_id}: buffer overflow on port "
                 f"{PORT_NAMES[in_port]} vc{flit.vc} (credit protocol violated)"
             )
-        flit.ready_cycle = cycle + self.pipeline_depth
-        self.buffers[in_port][flit.vc].append(flit)
+        ready = cycle + self.pipeline_depth
+        flit.ready_cycle = ready
+        buf = self.buffers[in_port][flit.vc]
+        if not buf:
+            self._occupied_lanes += 1
+        buf.append(flit)
         self.stats.buffer_writes += 1
+        # a new flit is an external event: wake the poll hint no later
+        # than the cycle this flit clears the router pipeline
+        if ready < self.poll_again_at:
+            self.poll_again_at = ready
 
     # -- switch allocation ----------------------------------------------------
     def plan_moves(self, cycle: int) -> list[tuple[int, int, Flit]]:
@@ -138,51 +201,352 @@ class Router:
         them (two-phase update keeps routers order-independent).  Credits
         are decremented here so a single cycle never oversubscribes a
         downstream buffer.
+
+        Every call also refreshes :attr:`poll_again_at`: when nothing is
+        eligible, the earliest pipeline-ready flit bounds the next cycle
+        this router could act on its own.  Lock-blocked lanes need no
+        poll of their own (the blocking worm drains via this router's own
+        grants, which reset the hint), and credit-starved candidates wake
+        via :meth:`return_credit`; new arrivals rearm in :meth:`accept`.
+
+        Dispatches to the single-VC allocator (flat per-port state, the
+        default mesh) or the generic multi-VC one; both implement the
+        same allocation policy and ``tests/noc/test_fastpath.py`` checks
+        them against each other.
         """
-        # collect head-of-line candidates per output across (port, vc)
-        requests: dict[int, list[tuple[int, int]]] = {}
-        for in_port in range(5):
-            for vc in range(self.num_vcs):
-                buf = self.buffers[in_port][vc]
-                if not buf:
-                    continue
+        return self._plan_impl(cycle)
+
+    def _plan_vc1(self, cycle: int) -> list[tuple[int, int, Flit]]:
+        """Single-VC switch allocation: lanes are just input ports."""
+        # streaming fast path: exactly one occupied lane whose
+        # head-of-line flit is a body/tail following its held lock —
+        # the steady state of every router along a worm's path.  The
+        # full scan would find this single candidate and grant it;
+        # do so directly.  Any mismatch falls through to the scan.
+        if self._occupied_lanes == 1:
+            in_port = self._last_lane
+            buf = self._bufs1[in_port]
+            if buf:
                 flit = buf[0]
-                if flit.ready_cycle > cycle:
-                    continue
-                out_port = self._route_flit(flit)
-                holder = self.output_lock.get((out_port, vc))
-                if flit.is_head:
-                    if holder is not None and holder != (in_port, vc):
-                        continue  # (output, vc) busy with another worm
+                ready = flit.ready_cycle
+                if ready > cycle:
+                    self.poll_again_at = ready
+                    return []
+                if not flit.is_head:
+                    out_port = self._worm_route.get(flit.pid)
+                    if out_port is not None and self._lock1[out_port] == in_port:
+                        port_credits = self.credits[out_port]
+                        if port_credits[0] <= 0:
+                            # starved: return_credit rearms the hint
+                            self.poll_again_at = NEVER
+                            return []
+                        buf.popleft()
+                        if not buf:
+                            self._occupied_lanes -= 1
+                        if flit.is_tail:
+                            self._lock1[out_port] = None
+                            self.output_lock.pop(self._pairs1[out_port], None)
+                            self._worm_route.pop(flit.pid, None)
+                        port_credits[0] -= 1
+                        self._rr[out_port] = (in_port + 1) % 5
+                        self.stats.flits_forwarded += 1
+                        self.poll_again_at = cycle + 1
+                        return [(in_port, out_port, flit)]
+        # optimistic scan: collect eligible candidates into a flat list,
+        # tracking claimed outputs in a bitmask.  Two candidates wanting
+        # the same output (rare — it needs two worms converging in the
+        # same cycle) restart in the slot-based allocator; until then
+        # the scan has only (idempotently) recorded head worm routes, so
+        # the restart is side-effect free.
+        min_ready = NEVER
+        lock = self._lock1
+        worm_route = self._worm_route
+        bufs = self._bufs1
+        routing = self.routing
+        route_cache = self._route_cache if self._routing_static else None
+        cands: list[tuple[int, int, Flit]] | None = None
+        outs = 0
+        for in_port in range(5):
+            buf = bufs[in_port]
+            if not buf:
+                continue
+            flit = buf[0]
+            ready = flit.ready_cycle
+            if ready > cycle:
+                if ready < min_ready:
+                    min_ready = ready
+                continue
+            if flit.is_head:
+                if route_cache is not None:
+                    dst = flit.dst
+                    out_port = route_cache.get(dst)
+                    if out_port is None:
+                        out_port = routing.route(self, dst)
+                        route_cache[dst] = out_port
                 else:
-                    if holder != (in_port, vc):
-                        continue  # body/tail may only follow their own worm
-                requests.setdefault(out_port, []).append((in_port, vc))
+                    out_port = routing.route(self, flit.dst)
+                holder = lock[out_port]
+                if holder is not None and holder != in_port:
+                    continue  # output busy with another worm
+                if not flit.is_tail:
+                    worm_route[flit.pid] = out_port
+            else:
+                out_port = worm_route.get(flit.pid)
+                if out_port is None:  # pragma: no cover - protocol guard
+                    raise RuntimeError(
+                        f"router {self.node_id}: body flit of packet "
+                        f"{flit.pid} arrived before its head"
+                    )
+                if lock[out_port] != in_port:
+                    continue  # body/tail may only follow their own worm
+            bit = 1 << out_port
+            if outs & bit:
+                return self._plan_vc1_conflict(cycle)
+            outs |= bit
+            if cands is None:
+                cands = [(in_port, out_port, flit)]
+            else:
+                cands.append((in_port, out_port, flit))
+        if cands is None:
+            self.poll_again_at = min_ready
+            return []
+
+        # conflict-free grants: every candidate owns its output, so the
+        # round-robin arbiter degenerates to a pass-through (candidate
+        # order equals the slot allocator's first-seen output order)
+        moves: list[tuple[int, int, Flit]] = []
+        credits = self.credits
+        rr = self._rr
+        output_lock = self.output_lock
+        pairs = self._pairs1
+        for cand in cands:
+            in_port, out_port, flit = cand
+            port_credits = credits[out_port]
+            if port_credits[0] <= 0:
+                continue  # starved: return_credit rearms the hint
+            rr[out_port] = (in_port + 1) % 5
+            buf = bufs[in_port]
+            buf.popleft()
+            if not buf:
+                self._occupied_lanes -= 1
+            self._last_lane = in_port
+            if flit.is_tail:
+                lock[out_port] = None
+                output_lock.pop(pairs[out_port], None)
+                worm_route.pop(flit.pid, None)
+            elif flit.is_head:
+                lock[out_port] = in_port
+                output_lock[pairs[out_port]] = pairs[in_port]
+            port_credits[0] -= 1
+            moves.append(cand)
+        if moves:
+            self.stats.flits_forwarded += len(moves)
+            self.poll_again_at = cycle + 1
+        else:
+            self.poll_again_at = min_ready
+        return moves
+
+    def _plan_vc1_conflict(self, cycle: int) -> list[tuple[int, int, Flit]]:
+        """Slot-based single-VC allocation (two worms contend an output)."""
+        req = self._req1
+        used: list[int] = []
+        min_ready = NEVER
+        lock = self._lock1
+        worm_route = self._worm_route
+        bufs = self._bufs1
+        routing = self.routing
+        route_cache = self._route_cache if self._routing_static else None
+        for in_port in range(5):
+            buf = bufs[in_port]
+            if not buf:
+                continue
+            flit = buf[0]
+            ready = flit.ready_cycle
+            if ready > cycle:
+                if ready < min_ready:
+                    min_ready = ready
+                continue
+            if flit.is_head:
+                if route_cache is not None:
+                    dst = flit.dst
+                    out_port = route_cache.get(dst)
+                    if out_port is None:
+                        out_port = routing.route(self, dst)
+                        route_cache[dst] = out_port
+                else:
+                    out_port = routing.route(self, flit.dst)
+                holder = lock[out_port]
+                if holder is not None and holder != in_port:
+                    continue  # output busy with another worm
+                if not flit.is_tail:
+                    worm_route[flit.pid] = out_port
+            else:
+                out_port = worm_route.get(flit.pid)
+                if out_port is None:  # pragma: no cover - protocol guard
+                    raise RuntimeError(
+                        f"router {self.node_id}: body flit of packet "
+                        f"{flit.pid} arrived before its head"
+                    )
+                if lock[out_port] != in_port:
+                    continue  # body/tail may only follow their own worm
+            slot = req[out_port]
+            if slot is None:
+                req[out_port] = [in_port]
+                used.append(out_port)
+            else:
+                slot.append(in_port)
+        if not used:
+            self.poll_again_at = min_ready
+            return []
 
         moves: list[tuple[int, int, Flit]] = []
-        for out_port, cands in requests.items():
-            # filter by downstream credit on each candidate's VC
-            cands = [c for c in cands if self.credits[out_port][c[1]] > 0]
-            if not cands:
+        credits = self.credits
+        rr = self._rr
+        output_lock = self.output_lock
+        pairs = self._pairs1
+        for out_port in used:
+            cands = req[out_port]
+            req[out_port] = None
+            port_credits = credits[out_port]
+            # one VC -> one credit pool: starvation hits all candidates
+            if port_credits[0] <= 0:
                 continue
-            if len(cands) > 1:
+            if len(cands) == 1:
+                chosen = cands[0]
+            else:
                 self.stats.arbitration_conflicts += len(cands) - 1
-            # round-robin among requesters (by input port, then vc)
-            start = self._rr[out_port]
-            chosen_port, chosen_vc = min(
-                cands, key=lambda c: ((c[0] - start) % 5, c[1])
-            )
-            self._rr[out_port] = (chosen_port + 1) % 5
-            flit = self.buffers[chosen_port][chosen_vc].popleft()
-            # wormhole lock maintenance
-            if flit.is_head and not flit.is_tail:
-                self.output_lock[(out_port, chosen_vc)] = (chosen_port, chosen_vc)
+                # round-robin among requesting input ports
+                start = rr[out_port]
+                chosen = min(cands, key=lambda c: (c - start) % 5)
+            rr[out_port] = (chosen + 1) % 5
+            buf = bufs[chosen]
+            flit = buf.popleft()
+            if not buf:
+                self._occupied_lanes -= 1
+            self._last_lane = chosen
+            # wormhole lock maintenance (mirror into the canonical dict)
             if flit.is_tail:
-                self.output_lock.pop((out_port, chosen_vc), None)
-                self._worm_route.pop(flit.packet.pid, None)
-            self.credits[out_port][chosen_vc] -= 1
-            self.stats.flits_forwarded += 1
+                lock[out_port] = None
+                output_lock.pop(pairs[out_port], None)
+                worm_route.pop(flit.pid, None)
+            elif flit.is_head:
+                lock[out_port] = chosen
+                output_lock[pairs[out_port]] = pairs[chosen]
+            port_credits[0] -= 1
+            moves.append((chosen, out_port, flit))
+        if moves:
+            self.stats.flits_forwarded += len(moves)
+            self.poll_again_at = cycle + 1
+        else:
+            self.poll_again_at = min_ready
+        return moves
+
+    def _plan_generic(self, cycle: int) -> list[tuple[int, int, Flit]]:
+        """Multi-VC switch allocation over (port, vc) lanes."""
+        # collect head-of-line candidates per output across (port, vc);
+        # routing is inlined (heads decide, bodies follow their worm) —
+        # this method dominates the simulator's hot loop.  Request lists
+        # live in reusable per-output slots; ``used_ports`` preserves
+        # first-seen output order (the grant order of the dict-based
+        # implementation this replaces).
+        req_slots = self._req_slots
+        used_ports: list[int] = []
+        min_ready = NEVER
+        output_lock = self.output_lock
+        worm_route = self._worm_route
+        routing = self.routing
+        route_cache = self._route_cache if self._routing_static else None
+        for in_port, vc, buf in self._lanes:
+            if not buf:
+                continue
+            flit = buf[0]
+            ready = flit.ready_cycle
+            if ready > cycle:
+                if ready < min_ready:
+                    min_ready = ready
+                continue
+            if flit.is_head:
+                if route_cache is not None:
+                    dst = flit.dst
+                    out_port = route_cache.get(dst)
+                    if out_port is None:
+                        out_port = routing.route(self, dst)
+                        route_cache[dst] = out_port
+                else:
+                    out_port = routing.route(self, flit.dst)
+                if output_lock:
+                    holder = output_lock.get((out_port, vc))
+                    if holder is not None and holder != (in_port, vc):
+                        continue  # (output, vc) busy with another worm
+                if not flit.is_tail:
+                    worm_route[flit.pid] = out_port
+            else:
+                out_port = worm_route.get(flit.pid)
+                if out_port is None:  # pragma: no cover - protocol guard
+                    raise RuntimeError(
+                        f"router {self.node_id}: body flit of packet "
+                        f"{flit.pid} arrived before its head"
+                    )
+                if output_lock.get((out_port, vc)) != (in_port, vc):
+                    continue  # body/tail may only follow their own worm
+            req = req_slots[out_port]
+            if req is None:
+                req_slots[out_port] = [(in_port, vc)]
+                used_ports.append(out_port)
+            else:
+                req.append((in_port, vc))
+        if not used_ports:
+            self.poll_again_at = min_ready
+            return []
+
+        moves: list[tuple[int, int, Flit]] = []
+        buffers = self.buffers
+        credits = self.credits
+        rr = self._rr
+        stats = self.stats
+        for out_port in used_ports:
+            cands = req_slots[out_port]
+            req_slots[out_port] = None
+            # filter by downstream credit on each candidate's VC
+            port_credits = credits[out_port]
+            if len(cands) == 1:
+                chosen_port, chosen_vc = cands[0]
+                if port_credits[chosen_vc] <= 0:
+                    continue
+            else:
+                cands = [c for c in cands if port_credits[c[1]] > 0]
+                if not cands:
+                    continue
+                if len(cands) == 1:
+                    chosen_port, chosen_vc = cands[0]
+                else:
+                    stats.arbitration_conflicts += len(cands) - 1
+                    # round-robin among requesters (by input port, then vc)
+                    start = rr[out_port]
+                    chosen_port, chosen_vc = min(
+                        cands, key=lambda c: ((c[0] - start) % 5, c[1])
+                    )
+            rr[out_port] = (chosen_port + 1) % 5
+            buf = buffers[chosen_port][chosen_vc]
+            flit = buf.popleft()
+            if not buf:
+                self._occupied_lanes -= 1
+            # wormhole lock maintenance
+            if flit.is_tail:
+                output_lock.pop((out_port, chosen_vc), None)
+                worm_route.pop(flit.pid, None)
+            elif flit.is_head:
+                output_lock[(out_port, chosen_vc)] = (chosen_port, chosen_vc)
+            port_credits[chosen_vc] -= 1
             moves.append((chosen_port, out_port, flit))
+        # a grant changes state (pops, locks, credits): poll next cycle;
+        # all-candidates-starved sleeps until the earliest timed flit
+        # (credit returns rearm the hint from outside)
+        if moves:
+            stats.flits_forwarded += len(moves)
+            self.poll_again_at = cycle + 1
+        else:
+            self.poll_again_at = min_ready
         return moves
 
     def return_credit(self, out_port: int, vc: int = 0) -> None:
@@ -193,6 +557,8 @@ class Router:
                 f"{PORT_NAMES[out_port]} vc{vc}"
             )
         self.credits[out_port][vc] += 1
+        # a credit return may unblock a starved candidate: rearm the hint
+        self.poll_again_at = 0
 
     @property
     def occupancy(self) -> int:

@@ -24,6 +24,11 @@ __all__ = ["XYRouting", "YXRouting", "WestFirstRouting", "ROUTING_ALGORITHMS"]
 
 class _Base:
     name = "base"
+    #: True when ``route(router, dst)`` is a pure function of ``dst`` for
+    #: a fixed router — lets the router memoize dst -> out_port (see
+    #: :attr:`repro.noc.router.Router._route_cache`).  Adaptive
+    #: algorithms consult live congestion state and must stay False.
+    static = False
 
     def candidates(self, router, dst: int) -> list[int]:  # pragma: no cover
         raise NotImplementedError
@@ -39,6 +44,7 @@ class _Base:
 
 class XYRouting(_Base):
     name = "xy"
+    static = True
 
     def candidates(self, router, dst: int) -> list[int]:
         dx = (dst % router.width) - router.x
@@ -56,6 +62,7 @@ class XYRouting(_Base):
 
 class YXRouting(_Base):
     name = "yx"
+    static = True
 
     def candidates(self, router, dst: int) -> list[int]:
         dy = (dst // router.width) - router.y
