@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..nn.graph import Model
 from ..nn.train import evaluate
 from ..runtime import (
@@ -186,16 +187,28 @@ class CompressionPipeline:
 
     def run_delta(self, delta_pct: float) -> DeltaRecord:
         """Evaluate one delta value; the model is restored afterwards."""
+        o = obs.current()
         original = self.model.get_weights(self.layer_name).copy()
         try:
-            codec = _layer_codec(
-                self.codec, delta_pct, quantize_first=self.quantize_first
-            )
-            blob = codec.encode(original.ravel())
-            approx = codec.decode(blob).reshape(original.shape)
-            mse = codec.reconstruction_mse(blob, original.ravel())
-            self.model.set_weights(self.layer_name, approx)
-            result = evaluate(self.model, self.x_test, self.y_test)
+            with o.span(
+                "pipeline.run_delta",
+                cat="pipeline",
+                delta_pct=delta_pct,
+                layer=self.layer_name,
+            ):
+                codec = _layer_codec(
+                    self.codec, delta_pct, quantize_first=self.quantize_first
+                )
+                with o.span("pipeline.encode", cat="pipeline"):
+                    blob = codec.encode(original.ravel())
+                with o.span("pipeline.decode", cat="pipeline"):
+                    approx = codec.decode(blob).reshape(original.shape)
+                    mse = codec.reconstruction_mse(blob, original.ravel())
+                self.model.set_weights(self.layer_name, approx)
+                with o.span("pipeline.evaluate", cat="pipeline"):
+                    result = evaluate(self.model, self.x_test, self.y_test)
+                o.count("pipeline.deltas_evaluated")
+                o.count("pipeline.compressed_bytes", blob.compressed_bytes)
         finally:
             self.model.set_weights(self.layer_name, original)
         return DeltaRecord(
@@ -233,4 +246,11 @@ class CompressionPipeline:
             GridTask(fn=_sweep_point, args=(self, d), key=k)
             for d, k in zip(deltas, keys)
         ]
-        return run_tasks(tasks, jobs=jobs, cache=cache, timings=timings)
+        with obs.current().span(
+            "pipeline.sweep",
+            cat="pipeline",
+            layer=self.layer_name,
+            codec=str(self.codec),
+            deltas=len(deltas),
+        ):
+            return run_tasks(tasks, jobs=jobs, cache=cache, timings=timings)

@@ -57,6 +57,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
+from .. import obs
 from .flit import Packet
 from .mesh import OPPOSITE, Mesh
 from .nic import NetworkInterface
@@ -172,6 +173,19 @@ class NocSimulator:
         self._router_flits: dict[int, int] = {}
         #: total flits alive in NIC queues + router buffers
         self._inflight_flits = 0
+        # -- phase accounting (cheap integers; repro.obs export) --------
+        #: cycles executed through a stepper (vs fast-forwarded)
+        self.cycles_stepped = 0
+        #: cycles skipped while the network was empty (node-timer waits)
+        self.ff_cycles_idle = 0
+        #: cycles skipped while flits sat in router pipeline stages
+        self.ff_cycles_stall = 0
+        #: occupied routers skipped by their poll hint (obs-gated: only
+        #: counted while an observability scope is enabled)
+        self.stalled_router_polls = 0
+        #: whether run() is exporting to an enabled repro.obs scope —
+        #: the zero-overhead-when-disabled guard for in-loop counters
+        self._obs_track = False
         # -- node scheduling -------------------------------------------
         # per attached node (by attachment index): the earliest cycle
         # its ``step`` must run, driven by ``next_event_cycle`` hints.
@@ -298,9 +312,11 @@ class NocSimulator:
         # two-phase: plan against cycle-start state (ascending id order,
         # matching the reference scan so fault RNG draws line up) ...
         all_moves = None
+        stalled = 0
         for rid in sorted(router_flits):
             router = routers[rid]
             if router.poll_again_at > cycle:
+                stalled += 1
                 continue
             moves = router._plan_impl(cycle)
             if moves:
@@ -308,6 +324,8 @@ class NocSimulator:
                     all_moves = [(rid, moves)]
                 else:
                     all_moves.append((rid, moves))
+        if stalled and self._obs_track:
+            self.stalled_router_polls += stalled
         if all_moves is None:
             return
         # ... then commit (via the static per-port tables, which bundle
@@ -594,12 +612,83 @@ class NocSimulator:
                 wake = nxt
         return wake
 
+    #: (attribute, metric) pairs exported per run when observability is on
+    _OBS_STATS = (
+        ("flit_hops", "noc.flits.hops"),
+        ("flits_delivered", "noc.flits.delivered"),
+        ("packets_delivered", "noc.packets.delivered"),
+        ("packets_dropped", "noc.packets.dropped"),
+        ("flits_corrupted", "noc.flits.corrupted"),
+        ("buffer_reads", "noc.buffer.reads"),
+        ("buffer_writes", "noc.buffer.writes"),
+    )
+
+    def _obs_base(self) -> tuple:
+        """Snapshot of every exported counter, taken at run() entry so
+        repeated runs on one simulator export per-run deltas."""
+        stats = self.stats
+        return (
+            self.cycle,
+            self.cycles_stepped,
+            self.ff_cycles_idle,
+            self.ff_cycles_stall,
+            self.stalled_router_polls,
+            tuple(getattr(stats, attr) for attr, _ in self._OBS_STATS),
+        )
+
+    def _obs_flush(self, o, base: tuple) -> None:
+        """Export this run's counter deltas to the ambient obs scope."""
+        cycle0, stepped0, idle0, stall0, polls0, stats0 = base
+        m = o.metrics
+        m.counter("noc.cycles.total").add(self.cycle - cycle0)
+        m.counter("noc.cycles.stepped").add(self.cycles_stepped - stepped0)
+        m.counter("noc.cycles.fast_forwarded", reason="network_empty").add(
+            self.ff_cycles_idle - idle0
+        )
+        m.counter("noc.cycles.fast_forwarded", reason="pipeline_stall").add(
+            self.ff_cycles_stall - stall0
+        )
+        m.counter("noc.routers.stalled_polls").add(
+            self.stalled_router_polls - polls0
+        )
+        stats = self.stats
+        for (attr, metric), before in zip(self._OBS_STATS, stats0):
+            m.counter(metric).add(getattr(stats, attr) - before)
+        m.gauge("noc.mean_packet_latency").set(stats.mean_packet_latency)
+
     def run(self, max_cycles: int = 10_000_000, reference: bool = False) -> NocStats:
         """Run until quiescent; raises if ``max_cycles`` is exceeded.
 
         ``reference=True`` drives the naive :meth:`step_reference` loop
         with no cycle skipping — the oracle for differential tests.
+
+        With an enabled :mod:`repro.obs` scope installed, the run is
+        wrapped in a ``noc.run`` span and per-phase counters (cycles
+        stepped vs fast-forwarded by reason, stalled router polls, flit
+        and buffer activity) are exported on completion.  With the
+        default disabled scope this method takes the exact historical
+        path — the in-loop stall census stays off (``_obs_track``) and
+        no registry is touched.
         """
+        o = obs.current()
+        if not o.enabled:
+            self._obs_track = False
+            return self._run(max_cycles, reference)
+        self._obs_track = True
+        base = self._obs_base()
+        try:
+            with o.span(
+                "noc.run",
+                cat="noc",
+                reference=reference,
+                nodes=len(self._node_list),
+            ):
+                return self._run(max_cycles, reference)
+        finally:
+            self._obs_flush(o, base)
+            self._obs_track = False
+
+    def _run(self, max_cycles: int, reference: bool) -> NocStats:
         if reference:
             while not self.quiescent:
                 if self.cycle >= max_cycles:
@@ -608,6 +697,7 @@ class NocSimulator:
                         f"(possible deadlock or runaway traffic)"
                     )
                 self.step_reference()
+                self.cycles_stepped += 1
             self.stats.cycles = self.cycle
             return self.stats
 
@@ -624,6 +714,7 @@ class NocSimulator:
                 if wake > self.cycle:
                     # nothing can happen before ``wake``: skip the dead
                     # cycles (bounded by the liveness budget)
+                    self.ff_cycles_idle += wake - self.cycle
                     self.cycle = wake
             elif not self._busy_nics:
                 # flits in flight but all NIC queues drained: if every
@@ -631,6 +722,7 @@ class NocSimulator:
                 # to step, the intervening cycles are provably dead too
                 wake = self._network_wakeup(max_cycles)
                 if wake > self.cycle:
+                    self.ff_cycles_stall += wake - self.cycle
                     self.cycle = wake
             if self.cycle >= max_cycles:
                 raise RuntimeError(
@@ -638,5 +730,6 @@ class NocSimulator:
                     f"(possible deadlock or runaway traffic)"
                 )
             self.step()
+            self.cycles_stepped += 1
         self.stats.cycles = self.cycle
         return self.stats

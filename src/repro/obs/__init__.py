@@ -1,0 +1,173 @@
+"""Unified observability: metrics registry + span tracing.
+
+The paper's claims are measurements, so the reproduction carries its
+own measurement substrate.  One :class:`Obs` object bundles a
+:class:`~repro.obs.registry.MetricsRegistry` (counters / gauges /
+histograms with labels) and a :class:`~repro.obs.trace.Tracer` (spans
+exported as Chrome trace-event JSON, loadable in Perfetto).
+
+Instrumented code never takes an ``obs=`` parameter — it reads the
+ambient context:
+
+>>> import repro.obs as obs
+>>> o = obs.Obs()
+>>> with obs.use(o):
+...     with obs.current().span("encode", cat="demo"):
+...         obs.current().count("blobs")
+>>> o.metrics.value("blobs")
+1.0
+
+The default context is :data:`NULL`, a disabled instance whose ``span``
+returns a shared no-op context manager and whose metric methods return
+without recording — the zero-overhead-when-disabled guard every hot
+path relies on (the NoC simulator additionally gates its in-loop
+counters on ``enabled``).
+
+Cross-process propagation: :func:`capture` installs a fresh recording
+``Obs`` (how a pool worker records under its own context), and
+:meth:`Obs.export` / :meth:`Obs.adopt` move the recorded spans and
+metric rows across a pickle boundary — the parent re-parents worker
+spans onto per-task tracks and merges the metric rows in task order, so
+a serial and a parallel run of the same grid produce identical metric
+dumps (modulo wall-clock values; see
+:func:`repro.obs.registry.is_time_metric`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from .export import obs_dir_from_env, write_outputs
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    is_time_metric,
+)
+from .trace import Tracer
+
+__all__ = [
+    "Obs",
+    "NULL",
+    "current",
+    "enabled",
+    "use",
+    "capture",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "is_time_metric",
+    "obs_dir_from_env",
+    "write_outputs",
+]
+
+
+class _NullSpan:
+    """Reusable no-op context manager (stateless, hence re-entrant)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Obs:
+    """One observation scope: a metrics registry plus a tracer.
+
+    ``enabled=False`` builds the null instance: every recording method
+    is a cheap early return, so instrumentation can stay unconditional
+    at call sites.
+    """
+
+    def __init__(self, enabled: bool = True, pid: int | None = None) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.trace = Tracer(pid=pid)
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name: str, cat: str = "repro", **args):
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.trace.span(name, cat=cat, **args)
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        if self.enabled:
+            self.metrics.counter(name, **labels).add(value)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        if self.enabled:
+            self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        if self.enabled:
+            self.metrics.histogram(name, **labels).observe(value)
+
+    # -- cross-process transport ------------------------------------------
+    def export(self) -> dict:
+        """Picklable snapshot: recorded spans + metric rows."""
+        return {"events": self.trace.events, "metrics": self.metrics.snapshot()}
+
+    def adopt(
+        self,
+        exported: dict,
+        tid: int | None = None,
+        track_name: str | None = None,
+        prefix: str = "",
+        labels: dict | None = None,
+    ) -> None:
+        """Merge an :meth:`export` from another scope (typically a pool
+        worker): spans re-parented onto track ``tid`` starting now,
+        metric rows folded into this registry."""
+        if not self.enabled:
+            return
+        self.trace.adopt(exported["events"], tid=tid, track_name=track_name)
+        self.metrics.merge_rows(exported["metrics"], prefix=prefix, labels=labels)
+
+
+#: the ambient default: disabled, records nothing
+NULL = Obs(enabled=False)
+
+_current: ContextVar[Obs] = ContextVar("repro_obs", default=NULL)
+
+
+def current() -> Obs:
+    """The ambient observation scope (:data:`NULL` unless installed)."""
+    return _current.get()
+
+
+def enabled() -> bool:
+    return _current.get().enabled
+
+
+@contextmanager
+def use(obs: Obs):
+    """Install ``obs`` as the ambient scope for the with-body."""
+    token = _current.set(obs)
+    try:
+        yield obs
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def capture():
+    """Record the with-body under a fresh enabled scope.
+
+    This is the worker-side half of cross-process span propagation:
+    the task runs under its own ``Obs`` regardless of the ambient one,
+    and the caller ships ``captured.export()`` back for the parent to
+    :meth:`Obs.adopt`.  Used identically on the serial path so serial
+    and parallel sweeps produce the same merged output.
+    """
+    with use(Obs()) as obs:
+        yield obs

@@ -1,0 +1,61 @@
+"""Disk outputs: ``trace.json`` + ``metrics.json`` (+ ``metrics.csv``).
+
+One directory per observed run: the trace is Chrome trace-event JSON
+(open in https://ui.perfetto.dev), the metrics are the registry's flat
+snapshot rows as JSON and, for spreadsheet consumption, CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+
+__all__ = ["obs_dir_from_env", "write_outputs"]
+
+#: environment variable naming the output directory (CLI ``--obs`` wins)
+ENV_VAR = "REPRO_OBS"
+
+
+def obs_dir_from_env() -> str | None:
+    """The ``REPRO_OBS`` directory, or ``None`` when unset/empty."""
+    return os.environ.get(ENV_VAR) or None
+
+
+def _labels_csv(labels: dict) -> str:
+    return ";".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def write_outputs(obs, directory: str | Path) -> Path:
+    """Write ``trace.json``, ``metrics.json`` and ``metrics.csv``.
+
+    Returns the directory (created if needed).  ``obs`` is an
+    :class:`repro.obs.Obs`; its trace and metrics are dumped as-is, so
+    call this after the observed work is complete.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "trace.json", "w", encoding="utf-8") as f:
+        json.dump(obs.trace.chrome(), f)
+
+    rows = obs.metrics.snapshot()
+    with open(directory / "metrics.json", "w", encoding="utf-8") as f:
+        json.dump({"version": 1, "metrics": rows}, f, indent=1)
+
+    with open(directory / "metrics.csv", "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["name", "kind", "labels", "value", "count", "sum"])
+        for row in rows:
+            writer.writerow(
+                [
+                    row["name"],
+                    row["kind"],
+                    _labels_csv(row["labels"]),
+                    row.get("value", ""),
+                    row.get("count", ""),
+                    row.get("sum", ""),
+                ]
+            )
+    return directory

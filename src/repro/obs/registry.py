@@ -1,0 +1,228 @@
+"""Label-aware metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments keyed by
+``(name, labels)``.  Three instrument kinds cover the repo's needs:
+
+* :class:`Counter` — monotonically increasing float (``add``);
+* :class:`Gauge` — last-written value (``set``);
+* :class:`Histogram` — bucketed distribution (``observe``) with an
+  exact ``count``/``sum`` alongside the bucket census.
+
+Registries serialize to a deterministic row list (:meth:`MetricsRegistry.
+snapshot`, sorted by name then labels) that is picklable and
+JSON-ready — the unit of cross-process metric propagation: a pool worker
+snapshots its registry, the parent merges the rows back with
+:meth:`MetricsRegistry.merge_rows`.  Merging is commutative for
+counters and histograms (sums) and last-writer-wins for gauges, so a
+serial sweep and a parallel sweep of the same grid merge to identical
+registries (modulo wall-clock-valued metrics, which by convention carry
+a ``_seconds`` name suffix so consumers can exclude them from identity
+comparisons).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIME_SUFFIX",
+    "is_time_metric",
+]
+
+#: naming convention for wall-clock-valued metrics (excluded from
+#: serial-vs-parallel identity comparisons)
+TIME_SUFFIX = "_seconds"
+
+#: default histogram bucket upper bounds (seconds-flavored)
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+def is_time_metric(name: str) -> bool:
+    """True for metrics whose values are wall-clock measurements."""
+    return name.endswith(TIME_SUFFIX)
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def add(self, value: float = 1.0) -> None:
+        self.value += value
+
+    def row(self) -> dict:
+        return {"value": self.value}
+
+    def merge_row(self, row: dict) -> None:
+        self.value += row["value"]
+
+
+class Gauge:
+    """Last-written value (merge is last-writer-wins)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def row(self) -> dict:
+        return {"value": self.value}
+
+    def merge_row(self, row: dict) -> None:
+        self.value = row["value"]
+
+
+class Histogram:
+    """Bucketed distribution with exact count and sum.
+
+    ``buckets`` are ascending upper bounds; one implicit overflow bucket
+    catches everything above the last bound.  Merging requires equal
+    bounds and sums the per-bucket counts.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be strictly ascending: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def row(self) -> dict:
+        les: list = [*self.bounds, "+Inf"]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": [
+                {"le": le, "count": c} for le, c in zip(les, self.counts)
+            ],
+        }
+
+    def merge_row(self, row: dict) -> None:
+        bounds = tuple(b["le"] for b in row["buckets"][:-1])
+        if bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{bounds} vs {self.bounds}"
+            )
+        for i, b in enumerate(row["buckets"]):
+            self.counts[i] += b["count"]
+        self.count += row["count"]
+        self.total += row["sum"]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple[str, tuple[tuple[str, str], ...]]:
+        return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def _get(self, kind: type, name: str, labels: dict, **kwargs):
+        key = self._key(name, labels)
+        inst = self._metrics.get(key)
+        if inst is None:
+            inst = self._metrics[key] = kind(**kwargs)
+        elif not isinstance(inst, kind):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])} is a {inst.kind}, "
+                f"not a {kind.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- serialization / merging ------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """Deterministic flat row list (sorted by name, then labels)."""
+        rows = []
+        for (name, labels), inst in sorted(self._metrics.items()):
+            rows.append(
+                {
+                    "name": name,
+                    "kind": inst.kind,
+                    "labels": dict(labels),
+                    **inst.row(),
+                }
+            )
+        return rows
+
+    def merge_rows(
+        self,
+        rows: list[dict],
+        prefix: str = "",
+        labels: dict | None = None,
+    ) -> None:
+        """Fold snapshot rows in: counters/histograms sum, gauges take
+        the incoming value.  ``prefix``/``labels`` rename/re-label the
+        incoming rows (e.g. scoping a sub-registry under ``sweep.`` or
+        tagging every row with its experiment)."""
+        for row in rows:
+            row_labels = dict(row.get("labels", {}))
+            if labels:
+                row_labels.update(labels)
+            kind = _KINDS[row["kind"]]
+            kwargs = {}
+            if kind is Histogram:
+                kwargs["buckets"] = tuple(
+                    b["le"] for b in row["buckets"][:-1]
+                )
+            inst = self._get(kind, prefix + row["name"], row_labels, **kwargs)
+            inst.merge_row(row)
+
+    def merge(
+        self,
+        other: "MetricsRegistry",
+        prefix: str = "",
+        labels: dict | None = None,
+    ) -> None:
+        self.merge_rows(other.snapshot(), prefix=prefix, labels=labels)
+
+    def value(self, name: str, default: float = 0.0, **labels) -> float:
+        """Scalar value of a counter/gauge (``default`` when absent)."""
+        inst = self._metrics.get(self._key(name, labels))
+        return default if inst is None else inst.value

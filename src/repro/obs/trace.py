@@ -1,0 +1,147 @@
+"""Span tracer emitting Chrome trace-event JSON (Perfetto-loadable).
+
+Spans are recorded as matched ``B``/``E`` duration events on a
+``(pid, tid)`` track; timestamps are microseconds relative to the
+tracer's creation (``perf_counter``-based, so NTP adjustments cannot
+produce negative durations).  The export format is the Trace Event
+JSON understood by ``chrome://tracing`` and https://ui.perfetto.dev —
+``{"traceEvents": [...]}``.
+
+Cross-process merging: a worker records spans on its own tracer,
+ships ``tracer.events`` home (plain picklable dicts), and the parent
+re-parents them with :meth:`Tracer.adopt` — pid/tid rewritten to a
+track of the parent's choosing, timestamps shifted onto the parent's
+timeline.  Track naming uses the standard ``process_name`` /
+``thread_name`` metadata events.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+
+__all__ = ["Tracer"]
+
+_ARG_TYPES = (str, int, float, bool, type(None))
+
+
+def _jsonable(value):
+    return value if isinstance(value, _ARG_TYPES) else repr(value)
+
+
+class Tracer:
+    """Appender of trace events on one ``(pid, tid)`` track."""
+
+    def __init__(self, pid: int | None = None, tid: int = 0) -> None:
+        self.pid = os.getpid() if pid is None else pid
+        self.tid = tid
+        self.events: list[dict] = []
+        self._t0 = time.perf_counter()
+        self._named_tracks: set[tuple[int, int, str]] = set()
+
+    def now_us(self) -> float:
+        """Microseconds since tracer creation (monotonic)."""
+        return (time.perf_counter() - self._t0) * 1e6
+
+    @contextmanager
+    def span(self, name: str, cat: str = "repro", **args):
+        """Record a ``B``/``E`` pair around the with-body."""
+        event = {
+            "ph": "B",
+            "name": name,
+            "cat": cat,
+            "ts": self.now_us(),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if args:
+            event["args"] = {k: _jsonable(v) for k, v in args.items()}
+        self.events.append(event)
+        try:
+            yield
+        finally:
+            self.events.append(
+                {
+                    "ph": "E",
+                    "name": name,
+                    "cat": cat,
+                    "ts": self.now_us(),
+                    "pid": self.pid,
+                    "tid": self.tid,
+                }
+            )
+
+    def instant(self, name: str, cat: str = "repro", **args) -> None:
+        event = {
+            "ph": "i",
+            "s": "t",
+            "name": name,
+            "cat": cat,
+            "ts": self.now_us(),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if args:
+            event["args"] = {k: _jsonable(v) for k, v in args.items()}
+        self.events.append(event)
+
+    # -- track naming ------------------------------------------------------
+    def _name_track(self, meta: str, pid: int, tid: int, name: str) -> None:
+        key = (pid, tid, meta)
+        if key in self._named_tracks:
+            return
+        self._named_tracks.add(key)
+        self.events.append(
+            {
+                "ph": "M",
+                "name": meta,
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+
+    def thread_name(self, tid: int, name: str, pid: int | None = None) -> None:
+        self._name_track("thread_name", self.pid if pid is None else pid, tid, name)
+
+    def process_name(self, pid: int, name: str) -> None:
+        self._name_track("process_name", pid, 0, name)
+
+    # -- cross-process merge ----------------------------------------------
+    def adopt(
+        self,
+        events: list[dict],
+        pid: int | None = None,
+        tid: int | None = None,
+        at_ts: float | None = None,
+        track_name: str | None = None,
+    ) -> None:
+        """Re-parent foreign events onto this tracer's timeline.
+
+        ``pid``/``tid`` override the originals (default: this tracer's
+        pid, the events' own tids); timestamps are shifted so the
+        earliest adopted event lands at ``at_ts`` (default: now).  The
+        foreign events are copied, never mutated — the caller may hold
+        other references.
+        """
+        if not events:
+            return
+        pid = self.pid if pid is None else pid
+        base = min(e["ts"] for e in events if e.get("ph") != "M")
+        shift = (self.now_us() if at_ts is None else at_ts) - base
+        if track_name is not None and tid is not None:
+            self.thread_name(tid, track_name, pid=pid)
+        for e in events:
+            e = dict(e)
+            e["pid"] = pid
+            if tid is not None:
+                e["tid"] = tid
+            if e.get("ph") != "M":
+                e["ts"] = e["ts"] + shift
+            self.events.append(e)
+
+    def chrome(self) -> dict:
+        """The Trace Event JSON document (Perfetto/chrome://tracing)."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}

@@ -27,6 +27,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from .. import obs
 from .serialize import SerializationError, decode, encode
 
 __all__ = ["ResultCache", "results_cache_enabled", "MISS"]
@@ -79,6 +80,12 @@ class ResultCache:
         except OSError:
             return  # racing readers: someone else already moved it
         self.quarantined += 1
+        obs.current().count("cache.quarantined")
+
+    def _miss(self):
+        self.misses += 1
+        obs.current().count("cache.misses")
+        return MISS
 
     def get(self, key: str):
         """The cached value for ``key``, or :data:`MISS`.
@@ -88,21 +95,19 @@ class ResultCache:
         miss; a simply absent entry is a plain miss.
         """
         if not self.enabled:
-            self.misses += 1
-            return MISS
+            return self._miss()
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
             value = decode(doc["value"])
         except FileNotFoundError:
-            self.misses += 1
-            return MISS
+            return self._miss()
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             self._quarantine(path)
-            self.misses += 1
-            return MISS
+            return self._miss()
         self.hits += 1
+        obs.current().count("cache.hits")
         return value
 
     def put(self, key: str, value) -> None:
@@ -121,6 +126,7 @@ class ResultCache:
                 json.dump(doc, f)
             os.replace(tmp, path)
             self.puts += 1
+            obs.current().count("cache.puts")
         except OSError:
             try:
                 os.unlink(tmp)

@@ -25,6 +25,15 @@ salvaged from the abandoned pool), and optional partial-result salvage
 (``salvage=True`` turns an exhausted task into a ``None`` slot instead
 of an exception).  Without a policy the original strict semantics hold:
 the first task exception propagates unchanged.
+
+Observability: when an ambient :class:`repro.obs.Obs` scope is enabled,
+the strict path dispatches every pending task under a fresh worker-side
+capture (:func:`repro.obs.capture`) and, as results arrive, re-parents
+the recorded spans onto per-task trace tracks and merges the worker
+metric rows in task order — so ``jobs=1`` and ``jobs=N`` produce
+identical merged metrics (modulo wall-clock values).  With the default
+:data:`repro.obs.NULL` scope the dispatch path is byte-for-byte the
+historical one.
 """
 
 from __future__ import annotations
@@ -35,9 +44,11 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
+from .. import obs
+from ..obs import MetricsRegistry
 from .cache import MISS, ResultCache
 
 __all__ = ["GridTask", "RunPolicy", "Timings", "default_jobs", "run_tasks"]
@@ -106,21 +117,41 @@ class RunPolicy:
             raise ValueError(f"backoff must be >= 0, got {self.backoff}")
 
 
-@dataclass
 class Timings:
     """Per-sweep work accounting, surfaced in experiment output.
 
     ``tasks`` counts grid points submitted, ``tasks_run`` the points
     actually executed (misses), ``task_seconds`` the summed in-worker
-    execution time, ``wall_seconds`` the end-to-end grid time.  A warm
-    cache shows ``tasks_run == 0`` and ``task_seconds == 0.0`` — the
-    proof that no encode/evaluate work re-ran.
+    execution time of *successful* attempts (a failed attempt that is
+    later retried lands in ``task_failed_seconds`` instead),
+    ``wall_seconds`` the end-to-end grid time.  A warm cache shows
+    ``tasks_run == 0`` and ``task_seconds == 0.0`` — the proof that no
+    encode/evaluate work re-ran.
+
+    This class is a thin compatibility facade over a
+    :class:`repro.obs.MetricsRegistry`: ``counters`` is a read-only
+    name → value view of the underlying counters, and the registry can
+    be merged into an experiment's metrics dump wholesale.
     """
 
-    counters: dict[str, float] = field(default_factory=dict)
+    #: wall clocks of merged sub-sweeps overlap, so summing them
+    #: overstates elapsed time — these counters merge as max instead
+    _MAX_MERGED = frozenset({"wall_seconds"})
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Flat ``name -> value`` view (the historical dict shape)."""
+        return {
+            row["name"]: row["value"]
+            for row in self.registry.snapshot()
+            if row["kind"] == "counter" and not row["labels"]
+        }
 
     def add(self, name: str, value: float = 1.0) -> None:
-        self.counters[name] = self.counters.get(name, 0.0) + value
+        self.registry.counter(name).add(value)
 
     @contextmanager
     def timer(self, name: str):
@@ -131,16 +162,24 @@ class Timings:
             self.add(name, time.perf_counter() - start)
 
     def merge(self, other: "Timings") -> None:
+        mine = self.counters
         for name, value in other.counters.items():
-            self.add(name, value)
+            if name in self._MAX_MERGED:
+                # overlapping intervals: the merged elapsed time is the
+                # envelope, never the sum
+                self.add(name, max(0.0, value - mine.get(name, 0.0)))
+            else:
+                self.add(name, value)
 
     def summary(self) -> str:
+        counters = self.counters
+
         def fmt(name: str) -> str:
-            v = self.counters.get(name, 0.0)
+            v = counters.get(name, 0.0)
             return f"{v:.2f}s" if name.endswith("_seconds") else f"{v:g}"
 
         names = ["tasks", "tasks_run", "cache_hits", "task_seconds", "wall_seconds"]
-        extra = sorted(set(self.counters) - set(names) - {"cache_misses", "cache_puts"})
+        extra = sorted(set(counters) - set(names) - {"cache_misses", "cache_puts"})
         return "  ".join(f"{n}={fmt(n)}" for n in names + extra)
 
 
@@ -149,6 +188,36 @@ def _timed_call(fn: Callable[..., Any], args: tuple) -> tuple[Any, float]:
     start = time.perf_counter()
     result = fn(*args)
     return result, time.perf_counter() - start
+
+
+def _captured_call(fn: Callable[..., Any], args: tuple) -> tuple[Any, float, dict]:
+    """:func:`_timed_call` plus observability capture.
+
+    The task runs under a fresh recording scope whose spans and metric
+    rows ship home with the result for the parent to adopt.  The serial
+    path uses the same wrapper, so serial and parallel sweeps merge to
+    identical output.
+    """
+    start = time.perf_counter()
+    with obs.capture() as captured:
+        result = fn(*args)
+    return result, time.perf_counter() - start, captured.export()
+
+
+def _attempt_call(fn: Callable[..., Any], args: tuple) -> tuple[bool, Any, float]:
+    """Policy-path worker wrapper: failures return instead of raising.
+
+    Returning ``(False, exc, seconds)`` lets the parent account the
+    failed attempt's duration under ``task_failed_seconds`` before
+    handing the exception to the retry budget — a raise through the
+    future would discard the timing.
+    """
+    start = time.perf_counter()
+    try:
+        result = fn(*args)
+    except Exception as exc:  # noqa: BLE001 - shipped to the retry budget
+        return False, exc, time.perf_counter() - start
+    return True, result, time.perf_counter() - start
 
 
 def _serial_attempts(
@@ -170,9 +239,13 @@ def _serial_attempts(
             timings.add("task_retries")
             if policy.backoff:
                 time.sleep(policy.backoff * (2**k))
+        attempt_start = time.perf_counter()
         try:
             return _timed_call(task.fn, task.args)
         except Exception as e:  # noqa: BLE001 - retry boundary
+            # a failed attempt's time must not vanish (nor pollute
+            # task_seconds, which counts only successful work)
+            timings.add("task_failed_seconds", time.perf_counter() - attempt_start)
             exc = e
     if policy.salvage:
         timings.add("tasks_failed")
@@ -195,13 +268,22 @@ def _run_with_policy(
     """
     outcomes: dict[int, tuple[Any, float]] = {}
     failures: dict[int, BaseException] = {}
+
+    def _settle(i: int, outcome: tuple[bool, Any, float]) -> None:
+        ok, payload, seconds = outcome
+        if ok:
+            outcomes[i] = (payload, seconds)
+        else:
+            timings.add("task_failed_seconds", seconds)
+            failures[i] = payload
+
     if jobs > 1 and len(pending) > 1:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
-        futures = {i: pool.submit(_timed_call, tasks[i].fn, tasks[i].args) for i in pending}
+        futures = {i: pool.submit(_attempt_call, tasks[i].fn, tasks[i].args) for i in pending}
         healthy = True
         for i in pending:
             try:
-                outcomes[i] = futures[i].result(timeout=policy.timeout)
+                _settle(i, futures[i].result(timeout=policy.timeout))
             except (FuturesTimeout, TimeoutError):
                 timings.add("task_timeouts")
                 healthy = False
@@ -218,9 +300,14 @@ def _run_with_policy(
             # salvage results that finished before the pool went bad,
             # then walk away — a hung/killed worker can't be joined
             for i, fut in futures.items():
-                if i not in outcomes and fut.done() and not fut.cancelled():
+                if (
+                    i not in outcomes
+                    and i not in failures
+                    and fut.done()
+                    and not fut.cancelled()
+                ):
                     try:
-                        outcomes[i] = fut.result(timeout=0)
+                        _settle(i, fut.result(timeout=0))
                     except Exception as exc:  # noqa: BLE001
                         if not isinstance(exc, BrokenProcessPool):
                             failures[i] = exc
@@ -263,9 +350,40 @@ def run_tasks(
             timings.add("cache_hits")
 
     if pending:
+        o = obs.current()
         if policy is not None:
             outcomes = _run_with_policy(tasks, pending, jobs, policy, timings)
             ordered = [outcomes[i] for i in pending]
+        elif o.enabled:
+            # capture-mode dispatch: every task (serial or pooled) runs
+            # under its own recording scope; worker spans are re-parented
+            # onto per-task tracks and metric rows merged in task order,
+            # so jobs=1 and jobs=N dumps are identical
+            with o.span(
+                "pool.run_tasks",
+                cat="pool",
+                tasks=len(tasks),
+                pending=len(pending),
+                jobs=jobs,
+            ):
+                if jobs == 1 or len(pending) == 1:
+                    captured = [
+                        _captured_call(tasks[i].fn, tasks[i].args) for i in pending
+                    ]
+                else:
+                    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                        captured = list(
+                            pool.map(
+                                _captured_call,
+                                [tasks[i].fn for i in pending],
+                                [tasks[i].args for i in pending],
+                            )
+                        )
+                ordered = []
+                for i, (result, seconds, exported) in zip(pending, captured):
+                    o.adopt(exported, tid=i + 1, track_name=f"task {i}")
+                    o.observe("pool.task_run_seconds", seconds)
+                    ordered.append((result, seconds))
         elif jobs == 1 or len(pending) == 1:
             ordered = [_timed_call(tasks[i].fn, tasks[i].args) for i in pending]
         else:

@@ -1,0 +1,1 @@
+"""Observability layer: metrics registry, span tracer, cross-process merge."""

@@ -1,0 +1,104 @@
+"""CLI ``--obs`` flag, REPRO_OBS fallback, and elapsed-time accounting."""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from types import SimpleNamespace
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import __main__ as cli
+
+
+def _fake_experiment(monkeypatch, name: str = "fake"):
+    module = SimpleNamespace(
+        run=lambda fast=False: "ok",
+        render=lambda result: f"rendered {result}",
+    )
+    monkeypatch.setitem(ALL_EXPERIMENTS, name, module)
+    return module
+
+
+class TestParseArgs:
+    def test_obs_flag_with_value(self):
+        assert cli._parse_args(["tab1", "--obs", "out"]) == (["tab1"], "out")
+
+    def test_obs_equals_form(self):
+        assert cli._parse_args(["--obs=out", "tab1"]) == (["tab1"], "out")
+
+    def test_obs_without_value_is_usage_error(self, capsys):
+        assert cli._parse_args(["--obs"]) == 2
+        assert "--obs requires" in capsys.readouterr().out
+
+    def test_unknown_option_is_usage_error(self, capsys):
+        assert cli._parse_args(["--frobnicate"]) == 2
+        assert "unknown option" in capsys.readouterr().out
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "envdir")
+        assert cli._parse_args(["tab1"]) == (["tab1"], "envdir")
+        # the flag wins over the environment
+        assert cli._parse_args(["tab1", "--obs", "flagdir"]) == (["tab1"], "flagdir")
+
+    def test_no_obs_anywhere(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert cli._parse_args(["tab1"]) == (["tab1"], None)
+
+
+class TestElapsedAccounting:
+    def test_elapsed_survives_wall_clock_jump(self, monkeypatch, capsys):
+        """Regression: elapsed time must come from ``perf_counter``.
+
+        ``time.time()`` is free to jump backwards (NTP step); a CLI
+        timed with it would print a negative elapsed.  Sabotage the wall
+        clock and assert the printed time stays non-negative.
+        """
+        _fake_experiment(monkeypatch)
+        state = {"t": 1_000_000.0}
+
+        def jumping_wall_clock():
+            state["t"] -= 3600.0  # every look at the wall clock goes backwards
+            return state["t"]
+
+        monkeypatch.setattr(time, "time", jumping_wall_clock)
+        assert cli.main(["fake"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"\[fake: (-?[\d.]+)s", out)
+        assert match, out
+        assert float(match.group(1)) >= 0.0
+
+
+class TestObsOutputs:
+    def test_obs_dir_gets_per_experiment_and_session_dumps(
+        self, monkeypatch, tmp_path
+    ):
+        _fake_experiment(monkeypatch)
+        assert cli.main(["fake", "--obs", str(tmp_path)]) == 0
+        for where in (tmp_path, tmp_path / "fake"):
+            trace = json.loads((where / "trace.json").read_text())
+            assert trace["traceEvents"], where
+            doc = json.loads((where / "metrics.json").read_text())
+            assert doc["metrics"], where
+        # the per-experiment dump records the run under its root span
+        scoped = json.loads((tmp_path / "fake" / "trace.json").read_text())
+        names = {e["name"] for e in scoped["traceEvents"]}
+        assert "experiment.fake" in names
+        # the session dump labels every row with its experiment and
+        # names one process track per experiment
+        session = json.loads((tmp_path / "metrics.json").read_text())
+        assert all(
+            r["labels"].get("experiment") == "fake" for r in session["metrics"]
+        )
+        session_trace = json.loads((tmp_path / "trace.json").read_text())
+        procs = [
+            e for e in session_trace["traceEvents"] if e.get("name") == "process_name"
+        ]
+        assert procs and procs[0]["args"]["name"] == "fake"
+
+    def test_without_obs_no_files_are_written(self, monkeypatch, tmp_path):
+        _fake_experiment(monkeypatch)
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["fake"]) == 0
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,147 @@
+"""Metrics registry: instrument semantics, label keying, merge rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, is_time_metric
+from repro.obs.registry import DEFAULT_BUCKETS, Histogram
+
+
+class TestCounter:
+    def test_add_defaults_to_one(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").add()
+        reg.counter("hits").add(2.5)
+        assert reg.value("hits") == 3.5
+
+    def test_absent_value_uses_default(self):
+        assert MetricsRegistry().value("nope", default=-1.0) == -1.0
+
+
+class TestGauge:
+    def test_set_is_last_writer_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("temp").set(10.0)
+        reg.gauge("temp").set(3.0)
+        assert reg.value("temp") == 3.0
+
+
+class TestHistogram:
+    def test_observe_places_in_buckets(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(1.0)  # equal to a bound lands in that bound's bucket
+        h.observe(5.0)
+        h.observe(100.0)  # overflow
+        row = h.row()
+        assert row["count"] == 4
+        assert row["sum"] == pytest.approx(106.5)
+        assert [b["le"] for b in row["buckets"]] == [1.0, 10.0, "+Inf"]
+        assert [b["count"] for b in row["buckets"]] == [2, 1, 1]
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(buckets=(1.0, 0.5))
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_seconds_flavored(self):
+        assert DEFAULT_BUCKETS[0] < 0.01 < DEFAULT_BUCKETS[-1]
+
+
+class TestLabels:
+    def test_labels_key_distinct_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("flits", direction="in").add(3)
+        reg.counter("flits", direction="out").add(7)
+        assert reg.value("flits", direction="in") == 3
+        assert reg.value("flits", direction="out") == 7
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a="1", b="2").add()
+        reg.counter("x", b="2", a="1").add()
+        assert reg.value("x", a="1", b="2") == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x").add()
+        with pytest.raises(TypeError, match="counter"):
+            reg.gauge("x")
+
+
+class TestSnapshot:
+    def test_rows_are_sorted_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("b").add(1)
+        reg.gauge("a").set(2)
+        reg.histogram("c").observe(0.5)
+        rows = reg.snapshot()
+        assert [r["name"] for r in rows] == ["a", "b", "c"]
+        assert [r["kind"] for r in rows] == ["gauge", "counter", "histogram"]
+        for row in rows:
+            assert isinstance(row["labels"], dict)
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("n", layer="fc").add(4)
+        reg.histogram("h").observe(1.0)
+        json.dumps(reg.snapshot())  # must not raise
+
+
+class TestMerge:
+    def test_counters_sum_gauges_take_incoming(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").add(2)
+        a.gauge("g").set(1.0)
+        b.counter("n").add(3)
+        b.gauge("g").set(9.0)
+        a.merge(b)
+        assert a.value("n") == 5
+        assert a.value("g") == 9.0
+
+    def test_histograms_sum_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(0.002)
+        b.histogram("h").observe(0.002)
+        b.histogram("h").observe(30.0)
+        a.merge(b)
+        row = [r for r in a.snapshot() if r["name"] == "h"][0]
+        assert row["count"] == 3
+        assert row["sum"] == pytest.approx(30.004)
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+    def test_prefix_and_labels_rescope_incoming_rows(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        child.counter("tasks").add(4)
+        parent.merge(child, prefix="sweep.", labels={"experiment": "tab2"})
+        assert parent.value("sweep.tasks", experiment="tab2") == 4
+        assert parent.value("tasks") == 0.0
+
+    def test_merge_is_commutative_for_counters(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("n").add(1)
+        second.counter("n").add(2)
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(first)
+        ab.merge(second)
+        ba.merge(second)
+        ba.merge(first)
+        assert ab.snapshot() == ba.snapshot()
+
+
+class TestTimeMetricConvention:
+    def test_seconds_suffix_marks_wall_clock_values(self):
+        assert is_time_metric("task_seconds")
+        assert is_time_metric("pool.task_run_seconds")
+        assert not is_time_metric("tasks")
+        assert not is_time_metric("seconds_total")

@@ -1,0 +1,133 @@
+"""Span tracer: Chrome trace-event structure, adoption, track naming."""
+
+from __future__ import annotations
+
+from repro.obs import Tracer
+
+
+def assert_spans_balanced(events: list[dict]) -> None:
+    """Every ``B`` has a matching later ``E`` on the same (pid, tid)."""
+    stacks: dict[tuple, list[str]] = {}
+    for e in events:
+        assert "pid" in e and "tid" in e, e
+        track = (e["pid"], e["tid"])
+        if e["ph"] == "B":
+            stacks.setdefault(track, []).append(e["name"])
+        elif e["ph"] == "E":
+            assert stacks.get(track), f"E without B on {track}: {e}"
+            assert stacks[track].pop() == e["name"]
+    for track, stack in stacks.items():
+        assert not stack, f"unclosed spans on {track}: {stack}"
+
+
+class TestSpans:
+    def test_span_emits_matched_begin_end(self):
+        t = Tracer(pid=1)
+        with t.span("work", cat="test", delta=5.0):
+            pass
+        assert [e["ph"] for e in t.events] == ["B", "E"]
+        begin, end = t.events
+        assert begin["name"] == end["name"] == "work"
+        assert begin["cat"] == "test"
+        assert begin["pid"] == end["pid"] == 1
+        assert begin["tid"] == end["tid"] == 0
+        assert end["ts"] >= begin["ts"] >= 0
+        assert begin["args"] == {"delta": 5.0}
+        assert_spans_balanced(t.events)
+
+    def test_nested_spans_balance(self):
+        t = Tracer(pid=1)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        assert [(e["ph"], e["name"]) for e in t.events] == [
+            ("B", "outer"), ("B", "inner"), ("E", "inner"),
+            ("B", "inner"), ("E", "inner"), ("E", "outer"),
+        ]
+        assert_spans_balanced(t.events)
+
+    def test_span_closes_on_exception(self):
+        t = Tracer(pid=1)
+        try:
+            with t.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert_spans_balanced(t.events)
+
+    def test_non_primitive_args_coerced_to_repr(self):
+        t = Tracer(pid=1)
+        with t.span("work", payload=[1, 2]):
+            pass
+        assert t.events[0]["args"]["payload"] == "[1, 2]"
+
+    def test_instant_event(self):
+        t = Tracer(pid=1)
+        t.instant("marker", cat="test")
+        (e,) = t.events
+        assert e["ph"] == "i" and e["name"] == "marker" and e["s"] == "t"
+
+
+class TestTrackNaming:
+    def test_thread_and_process_names_are_metadata_events(self):
+        t = Tracer(pid=1)
+        t.thread_name(3, "task 3")
+        t.process_name(7, "tab2")
+        meta = {(e["name"], e["pid"], e["tid"]): e["args"]["name"] for e in t.events}
+        assert meta[("thread_name", 1, 3)] == "task 3"
+        assert meta[("process_name", 7, 0)] == "tab2"
+
+    def test_repeat_naming_is_deduped(self):
+        t = Tracer(pid=1)
+        t.thread_name(3, "task 3")
+        t.thread_name(3, "task 3")
+        assert len(t.events) == 1
+
+
+class TestAdopt:
+    def _foreign(self):
+        w = Tracer(pid=999, tid=0)
+        with w.span("task.work", cat="test"):
+            pass
+        return w
+
+    def test_adopt_rewrites_pid_tid_and_shifts_ts(self):
+        parent = Tracer(pid=1)
+        foreign = self._foreign()
+        parent.adopt(foreign.events, tid=5, at_ts=1000.0, track_name="task 4")
+        spans = [e for e in parent.events if e["ph"] in "BE"]
+        assert all(e["pid"] == 1 and e["tid"] == 5 for e in spans)
+        assert min(e["ts"] for e in spans) == 1000.0
+        assert_spans_balanced(parent.events)
+
+    def test_adopt_copies_instead_of_mutating(self):
+        foreign = self._foreign()
+        before = [dict(e) for e in foreign.events]
+        Tracer(pid=1).adopt(foreign.events, tid=2, at_ts=0.0)
+        assert foreign.events == before
+
+    def test_adopt_names_the_track(self):
+        parent = Tracer(pid=1)
+        parent.adopt(self._foreign().events, tid=5, track_name="task 4")
+        meta = [e for e in parent.events if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "task 4"
+
+    def test_adopt_empty_is_a_noop(self):
+        parent = Tracer(pid=1)
+        parent.adopt([], tid=5, track_name="never")
+        assert parent.events == []
+
+
+class TestChromeDocument:
+    def test_shape(self):
+        import json
+
+        t = Tracer(pid=1)
+        with t.span("work"):
+            pass
+        doc = json.loads(json.dumps(t.chrome()))
+        assert isinstance(doc["traceEvents"], list)
+        assert len(doc["traceEvents"]) == 2
+        assert doc["displayTimeUnit"] == "ms"

@@ -116,3 +116,29 @@ class TestTimings:
         with t.timer("task_seconds"):
             pass
         assert t.counters["task_seconds"] >= 0
+
+    def test_merge_wall_seconds_is_envelope_not_sum(self):
+        """Regression: concurrent sub-sweeps overlap in wall time, so
+        merging their ``wall_seconds`` by summation overstates elapsed
+        time — the merged value must be the max."""
+        a, b = Timings(), Timings()
+        a.add("wall_seconds", 2.0)
+        a.add("task_seconds", 2.0)
+        b.add("wall_seconds", 5.0)
+        b.add("task_seconds", 5.0)
+        a.merge(b)
+        assert a.counters["wall_seconds"] == 5.0  # envelope
+        assert a.counters["task_seconds"] == 7.0  # in-worker time still sums
+
+    def test_merge_wall_seconds_never_shrinks(self):
+        a, b = Timings(), Timings()
+        a.add("wall_seconds", 5.0)
+        b.add("wall_seconds", 1.0)
+        a.merge(b)
+        assert a.counters["wall_seconds"] == 5.0
+
+    def test_facade_exposes_registry(self):
+        t = Timings()
+        t.add("tasks", 3)
+        assert t.registry.value("tasks") == 3
+        assert t.counters == {"tasks": 3}

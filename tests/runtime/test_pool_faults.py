@@ -63,6 +63,32 @@ class TestRetry:
         assert results == [0, 1, 4, 42]
         assert timings.counters["task_retries"] == 1
 
+    def test_failed_attempt_time_lands_in_its_own_counter(self, tmp_path):
+        """Regression: a failed attempt's duration used to vanish (pool
+        path) or pollute ``task_seconds`` — it belongs to
+        ``task_failed_seconds``."""
+        sentinel = str(tmp_path / "s")
+        timings = Timings()
+        run_tasks(
+            [GridTask(fn=crash_once, args=(sentinel, 42))],
+            jobs=1,
+            timings=timings,
+            policy=RunPolicy(retries=1),
+        )
+        assert timings.counters["task_failed_seconds"] > 0.0
+        # only the successful attempt counts as executed work
+        assert timings.counters["tasks_run"] == 1
+
+    def test_failed_attempt_time_survives_the_pool_boundary(self, tmp_path):
+        sentinel = str(tmp_path / "s")
+        timings = Timings()
+        tasks = _grid(3) + [GridTask(fn=crash_once, args=(sentinel, 42))]
+        results = run_tasks(
+            tasks, jobs=2, timings=timings, policy=RunPolicy(retries=1)
+        )
+        assert results == [0, 1, 4, 42]
+        assert timings.counters["task_failed_seconds"] > 0.0
+
     def test_retries_exhausted_raises_original(self):
         with pytest.raises(FaultError, match="injected worker crash"):
             run_tasks(
