@@ -22,7 +22,12 @@ from pathlib import Path
 
 import pytest
 
+import numpy as np
+
+from repro.core.codecs import LineFitCodec, get_codec
+from repro.core.provider import BlobProvider, provider_for
 from repro.mapping import Accelerator
+from repro.mapping.accelerator import AcceleratorConfig
 from repro.noc import (
     Mesh,
     MemoryInterface,
@@ -88,26 +93,122 @@ def test_latency_sweep_throughput(benchmark, machine_scale):
     _assert_within_budget("noc_latency_sweep", time.perf_counter() - t0, machine_scale)
 
 
+def _layer_hotspot_run(acc, layer, compression=None):
+    sched = acc.schedule_layer(layer, compression=compression)
+    sim = NocSimulator(Mesh(4, 4))
+    mcs = {c: MemoryInterface(c) for c in sim.mesh.corner_ids()}
+    for mc in mcs.values():
+        sim.attach_node(mc)
+    for pe_id, (w, i, o, comp, dec, macs) in sched.pe_work.items():
+        pe = ProcessingElement(pe_id)
+        pe.assign(
+            PETask(
+                w,
+                i,
+                o,
+                sim.mesh.nearest_corner(pe_id),
+                comp,
+                dec,
+                macs,
+                streamed=sched.streamed,
+            )
+        )
+        sim.attach_node(pe)
+    for job in sched.dram_reads():
+        mcs[job.mc].schedule_read(ReadJob(job.dsts, job.nbytes, job.traffic_class))
+    return sim.run()
+
+
 def test_layer_hotspot_throughput(benchmark, machine_scale):
     acc = Accelerator()
     layer = zoo.lenet5.full().layer("dense_1")
 
-    def run():
-        sched = acc.schedule_layer(layer)
-        sim = NocSimulator(Mesh(4, 4))
-        mcs = {c: MemoryInterface(c) for c in sim.mesh.corner_ids()}
-        for mc in mcs.values():
-            sim.attach_node(mc)
-        for pe_id, (w, i, o, comp, dec, macs) in sched.pe_work.items():
-            pe = ProcessingElement(pe_id)
-            pe.assign(
-                PETask(w, i, o, sim.mesh.nearest_corner(pe_id), comp, dec, macs)
-            )
-            sim.attach_node(pe)
-        for job in sched.dram_reads():
-            mcs[job.mc].schedule_read(ReadJob(job.dsts, job.nbytes, job.traffic_class))
-        return sim.run()
+    t0 = time.perf_counter()
+    benchmark.pedantic(lambda: _layer_hotspot_run(acc, layer), rounds=1, iterations=1)
+    _assert_within_budget("noc_layer_hotspot", time.perf_counter() - t0, machine_scale)
+
+
+def test_layer_hotspot_fused_throughput(benchmark, machine_scale):
+    """The fused streamed-decode arm of the layer hotspot.
+
+    Compressed weight flits plus decode/fetch overlap must keep this
+    workload at least ``min_speedup_vs_seed`` times faster than the
+    pre-rework (seed) materialized run — the roadmap's fused-kernel
+    target — in addition to the usual slowdown guard on its own
+    baseline.
+    """
+    acc = Accelerator(AcceleratorConfig(streamed_decode=True))
+    spec = zoo.lenet5.full()
+    layer = spec.layer("dense_1")
+    blob = LineFitCodec(delta=0.05).encode(spec.materialize("dense_1").ravel())
+    effect = acc.compression_effect(provider_for(blob))
+    assert effect.streamed
 
     t0 = time.perf_counter()
-    benchmark.pedantic(run, rounds=1, iterations=1)
-    _assert_within_budget("noc_layer_hotspot", time.perf_counter() - t0, machine_scale)
+    benchmark.pedantic(
+        lambda: _layer_hotspot_run(acc, layer, compression=effect),
+        rounds=1,
+        iterations=1,
+    )
+    elapsed = time.perf_counter() - t0
+    _assert_within_budget("noc_layer_hotspot_fused", elapsed, machine_scale)
+
+    entry = BASELINE["benchmarks"]["noc_layer_hotspot_fused"]
+    seed_budget = entry["pre_seconds"] * machine_scale / entry["min_speedup_vs_seed"]
+    assert elapsed <= seed_budget, (
+        f"fused layer run: {elapsed:.3f}s misses the "
+        f"{entry['min_speedup_vs_seed']}x-over-seed target "
+        f"({entry['pre_seconds']}s x machine scale {machine_scale:.2f} / "
+        f"{entry['min_speedup_vs_seed']} = {seed_budget:.3f}s)"
+    )
+
+
+def test_decode_throughput(benchmark, machine_scale):
+    """Per-codec decode bandwidth, materialized and streamed arms.
+
+    Each codec must stay within ``MAX_SLOWDOWN`` of its committed MB/s
+    on both arms (after machine scaling); a drop means the vectorized
+    batch decoder or a provider cursor has regressed.
+    """
+    spec = BASELINE["decode_throughput"]
+    weights = (
+        np.random.default_rng(42)
+        .standard_normal(spec["num_weights"])
+        .astype(np.float32)
+    )
+    mb = weights.nbytes / 1e6
+    tile = spec["tile_weights"]
+
+    def measure():
+        rates = {}
+        for name in spec["codecs"]:
+            codec = get_codec(name, delta_pct=10.0)
+            blob = codec.encode(weights)
+            t_mat = min(_timed(codec.decode, blob) for _ in range(2))
+
+            def streamed():
+                cur = BlobProvider(blob).cursor()
+                while cur.remaining:
+                    cur.read(tile)
+
+            t_str = min(_timed(streamed) for _ in range(2))
+            rates[name] = (mb / t_mat, mb / t_str)
+        return rates
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, entry in spec["codecs"].items():
+        for arm, measured in zip(("materialized_mbps", "streamed_mbps"), rates[name]):
+            required = entry[arm] / (machine_scale * MAX_SLOWDOWN)
+            assert measured >= required, (
+                f"{name} {arm}: {measured:.1f} MB/s below the "
+                f"{required:.1f} MB/s floor (committed {entry[arm]} MB/s / "
+                f"machine scale {machine_scale:.2f} / slowdown guard "
+                f"{MAX_SLOWDOWN}) — decode throughput has regressed; if "
+                "intentional, re-record benchmarks/BENCH_noc.json"
+            )
+
+
+def _timed(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0

@@ -41,7 +41,10 @@ def lz_encode(data: bytes | np.ndarray) -> bytes:
         if i + _MIN_MATCH <= n:
             key = buf[i : i + _MIN_MATCH]
             for j in reversed(head.get(key, ())):
-                if i - j > _WINDOW:
+                if i - j >= _WINDOW:
+                    # the 12-bit distance field tops out at _WINDOW - 1;
+                    # a distance of exactly _WINDOW would wrap to 0 on
+                    # serialization and corrupt the stream
                     break
                 length = _MIN_MATCH
                 limit = min(_MAX_MATCH, n - i)

@@ -9,7 +9,11 @@ linefit
 compression
     ``compress`` / ``CompressedStream`` — the public compression API.
 decompressor
-    Cycle/bit-level model of the on-PE decompression unit (Fig. 6).
+    Cycle/bit-level model of the on-PE decompression unit (Fig. 6),
+    vectorized batch decode and the ``WeightStream`` tile cursor.
+provider
+    Streamed weight delivery: the ``WeightProvider`` contract that lets
+    consumers pull decoded tiles on demand (fused decode+MAC).
 codec
     Byte-level wire format of compressed streams.
 codecs
@@ -60,7 +64,12 @@ from .compression import (
     compress_percent,
     quantize_coefficient,
 )
-from .decompressor import DecompressionUnit, DecompressorTiming, decompress_accumulate
+from .decompressor import (
+    DecompressionUnit,
+    DecompressorTiming,
+    WeightStream,
+    decompress_accumulate,
+)
 from .errors import FaultError, IntegrityError
 from .layer_selection import select_layer, select_layer_model, select_multi
 from .metrics import (
@@ -75,6 +84,14 @@ from .multilayer import MultiLayerPlan, optimize_multilayer
 from .pareto import DesignPoint, dominates, knee_point, pareto_front
 from .pruning import PrunedTensor, prune_magnitude, pruned_footprint_bytes
 from .pipeline import CompressionPipeline, DeltaRecord, apply_compression
+from .provider import (
+    ArrayProvider,
+    BlobProvider,
+    StreamProvider,
+    WeightCursor,
+    WeightProvider,
+    provider_for,
+)
 from .quantization import QuantizedTensor, model_footprint, quantize_model, quantize_tensor
 from .segmentation import delta_from_percent, is_weak_monotonic, segment_boundaries
 from .sensitivity import LayerSensitivity, layer_sensitivity, normalized_sensitivity
@@ -103,7 +120,14 @@ __all__ = [
     "quantize_coefficient",
     "DecompressionUnit",
     "DecompressorTiming",
+    "WeightStream",
     "decompress_accumulate",
+    "WeightCursor",
+    "WeightProvider",
+    "ArrayProvider",
+    "StreamProvider",
+    "BlobProvider",
+    "provider_for",
     "CompressionReport",
     "layer_report",
     "weighted_ratio",

@@ -30,7 +30,7 @@ from ..core.pareto import DesignPoint, pareto_front
 from ..core.pipeline import CompressionPipeline, _sweep_point
 from ..core.segmentation import delta_from_percent
 from ..mapping import Accelerator
-from ..mapping.accelerator import ModelResult
+from ..mapping.accelerator import AcceleratorConfig, ModelResult
 from ..nn import zoo
 from ..runtime import (
     GridTask,
@@ -84,16 +84,18 @@ def _sim_mode(module, fast: bool) -> str:
     return "flit" if (module is zoo.lenet5 and not fast) else "txn"
 
 
-def _fig10_sim(model_name: str, pct: float | None, fast: bool) -> ModelResult:
+def _fig10_sim(
+    model_name: str, pct: float | None, fast: bool, streamed: bool = False
+) -> ModelResult:
     """Accelerator latency/energy of one grid point (``pct=None`` is the
     uncompressed baseline).  Module-level and re-deriving everything
-    from ``(model name, pct, fast)``, so pool tasks ship three scalars
-    instead of a full-scale weight stream.
+    from ``(model name, pct, fast, streamed)``, so pool tasks ship four
+    scalars instead of a full-scale weight stream.
     """
     module = zoo.BY_NAME[model_name]
     spec = module.full()
     layer = module.SELECTED_LAYER
-    acc_sim = Accelerator()
+    acc_sim = Accelerator(AcceleratorConfig(streamed_decode=streamed))
     mode = _sim_mode(module, fast)
     if pct is None:
         return acc_sim.run_model(spec, mode=mode)
@@ -114,6 +116,7 @@ def _fig10_sim(model_name: str, pct: float | None, fast: bool) -> ModelResult:
             cr=eff.cr,
             segments_total=int(eff.segments_total * scale),
             units_per_pe=eff.units_per_pe,
+            streamed=eff.streamed,
         )
     return acc_sim.run_model(spec, {layer: eff}, mode=mode)
 
@@ -125,6 +128,7 @@ def tradeoff_for(
     jobs: int | None = None,
     cache: ResultCache | None = None,
     timings: Timings | None = None,
+    streamed: bool = False,
 ) -> ModelTradeoff:
     layer = module.SELECTED_LAYER
     model, split = trained_proxy(module, seed=seed, fast=fast)
@@ -143,6 +147,7 @@ def tradeoff_for(
             "mode": _sim_mode(module, fast),
             "codec": "linefit",
             "layer": layer,
+            "streamed": bool(streamed),
         }
         sim_keys = [
             result_key("accel-run", delta_pct=pct, **sim_base)
@@ -158,7 +163,7 @@ def tradeoff_for(
     # one grid: the baseline run, per-delta accelerator runs, and
     # per-delta proxy evaluations all fan out together
     tasks = [
-        GridTask(fn=_fig10_sim, args=(module.NAME, pct, fast), key=k)
+        GridTask(fn=_fig10_sim, args=(module.NAME, pct, fast, streamed), key=k)
         for pct, k in zip((None, *deltas), sim_keys)
     ] + [
         GridTask(fn=_sweep_point, args=(pipeline, pct), key=k)
@@ -205,10 +210,13 @@ def run(
     jobs: int | None = None,
     cache: ResultCache | None = None,
     timings: Timings | None = None,
+    streamed: bool = False,
 ) -> list[ModelTradeoff]:
     modules = models if models is not None else zoo.ALL_MODELS
     return [
-        tradeoff_for(m, fast=fast, jobs=jobs, cache=cache, timings=timings)
+        tradeoff_for(
+            m, fast=fast, jobs=jobs, cache=cache, timings=timings, streamed=streamed
+        )
         for m in modules
     ]
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..core.codecs import Codec, CompressedBlob, get_codec
 from ..core.compression import CompressedStream
+from ..core.provider import WeightProvider, provider_for
 from ..energy.model import EnergyAccount, EnergyBreakdown
 from ..energy.params import EnergyParams
 from ..nn.arch import ArchSpec, LayerKind, LayerSpec
@@ -64,6 +65,10 @@ class AcceleratorConfig:
     #: flit-level scheduling: False = static MC programs (default, what
     #: the transaction model assumes), True = PE-issued request packets
     demand_mode: bool = False
+    #: streamed-decode timing: compression effects built by this
+    #: accelerator overlap the fused decode+MAC pipeline with the weight
+    #: fetch (see ``repro.noc.pe`` / ``repro.noc.transaction``)
+    streamed_decode: bool = False
 
 
 @dataclass
@@ -180,6 +185,7 @@ class Accelerator:
                     decompress_cycles=decomp,
                     macs=macs,
                     request_mc=sim.mesh.nearest_corner(pe_id) if c.demand_mode else None,
+                    streamed=schedule.streamed,
                 )
             )
             pes[pe_id] = pe
@@ -222,7 +228,10 @@ class Accelerator:
     def run_model(
         self,
         spec: ArchSpec,
-        compression: dict[str, CompressionEffect | CompressedBlob | CompressedStream]
+        compression: dict[
+            str,
+            CompressionEffect | CompressedBlob | CompressedStream | WeightProvider,
+        ]
         | None = None,
         mode: str = "txn",
         weight_bytes_per_word: int = 4,
@@ -231,11 +240,13 @@ class Accelerator:
         """Run every traffic-bearing layer of a network.
 
         ``compression`` maps layer names to their compression effects;
-        entries may also be :class:`~repro.core.codecs.CompressedBlob`
-        or :class:`~repro.core.compression.CompressedStream` values,
-        which are normalized through :meth:`compression_effect` — so the
-        output of *any* registered codec plugs in directly.  ``batch``
-        amortizes weight fetches over several inferences.
+        entries may also be :class:`~repro.core.codecs.CompressedBlob`,
+        :class:`~repro.core.compression.CompressedStream` or
+        :class:`~repro.core.provider.WeightProvider` values, which are
+        normalized through :meth:`compression_effect` — so the output of
+        *any* registered codec plugs in directly, and providers flow to
+        the compute model without an intermediate full-size buffer.
+        ``batch`` amortizes weight fetches over several inferences.
         """
         compression = {
             name: value
@@ -261,22 +272,66 @@ class Accelerator:
 
     def compression_effect(
         self,
-        stream: CompressedStream | CompressedBlob,
+        stream: CompressedStream | CompressedBlob | WeightProvider,
         units_per_pe: int | None = None,
+        streamed: bool | None = None,
     ) -> CompressionEffect:
-        """Effect of a compressed weight stream, from either API.
+        """Effect of a compressed weight stream, from any API.
 
-        Accepts the legacy :class:`CompressedStream` (line-fit only) or
-        any codec's :class:`CompressedBlob`.
+        Accepts the legacy :class:`CompressedStream` (line-fit only),
+        any codec's :class:`CompressedBlob`, or a
+        :class:`~repro.core.provider.WeightProvider`.  ``streamed``
+        defaults to the accelerator's ``streamed_decode`` configuration.
         """
         units = (
             units_per_pe
             if units_per_pe is not None
             else self.config.decompressor_units
         )
+        streamed = (
+            self.config.streamed_decode if streamed is None else bool(streamed)
+        )
+        if isinstance(stream, WeightProvider):
+            return CompressionEffect.from_provider(
+                stream, units_per_pe=units, streamed=streamed
+            )
         if isinstance(stream, CompressedBlob):
-            return CompressionEffect.from_blob(stream, units_per_pe=units)
-        return CompressionEffect.from_stream(stream, units_per_pe=units)
+            return CompressionEffect.from_blob(
+                stream, units_per_pe=units, streamed=streamed
+            )
+        return CompressionEffect.from_stream(
+            stream, units_per_pe=units, streamed=streamed
+        )
+
+    def providers_for(
+        self,
+        spec: ArchSpec,
+        assignments: dict[str, float],
+        codec: str | Codec = "linefit",
+        seed: int = 0,
+    ) -> dict[str, WeightProvider]:
+        """Per-layer :class:`WeightProvider`\\ s from delta assignments.
+
+        Materializes each assigned layer's full-scale weights once to
+        *encode* them, then wraps the compressed blob in a provider —
+        downstream consumers (``run_model``, the fused nn forward paths)
+        pull decoded tiles on demand instead of receiving a full-size
+        decoded buffer.
+        """
+        known = {l.name for l in spec.parametric_layers()}
+        unknown = set(assignments) - known
+        if unknown:
+            raise ValueError(f"assignments for unknown layers: {sorted(unknown)}")
+        providers = {}
+        for name, delta in assignments.items():
+            codec_obj = (
+                codec
+                if isinstance(codec, Codec)
+                else get_codec(codec, delta_pct=float(delta))
+            )
+            blob = codec_obj.encode(spec.materialize(name, seed=seed).ravel())
+            providers[name] = provider_for(blob)
+        return providers
 
     def effects_for(
         self,
@@ -287,23 +342,16 @@ class Accelerator:
     ) -> dict[str, CompressionEffect]:
         """Build ``run_model``'s compression dict from delta assignments.
 
-        Materializes each assigned layer's full-scale weights, encodes
-        them with ``codec`` (any registry spec or instance; per-layer
-        deltas parameterize string specs) and returns the per-layer
-        effects — the bridge from :func:`repro.core.multilayer.
-        optimize_multilayer` output to the latency/energy simulation.
+        Encodes each assigned layer with ``codec`` (any registry spec or
+        instance; per-layer deltas parameterize string specs) via
+        :meth:`providers_for` and returns the per-layer effects — the
+        bridge from :func:`repro.core.multilayer.optimize_multilayer`
+        output to the latency/energy simulation.  The compressed blobs
+        travel as providers, so no full-size decoded buffer is built.
         """
-        known = {l.name for l in spec.parametric_layers()}
-        unknown = set(assignments) - known
-        if unknown:
-            raise ValueError(f"assignments for unknown layers: {sorted(unknown)}")
-        effects = {}
-        for name, delta in assignments.items():
-            codec_obj = (
-                codec
-                if isinstance(codec, Codec)
-                else get_codec(codec, delta_pct=float(delta))
-            )
-            blob = codec_obj.encode(spec.materialize(name, seed=seed).ravel())
-            effects[name] = self.compression_effect(blob)
-        return effects
+        return {
+            name: self.compression_effect(provider)
+            for name, provider in self.providers_for(
+                spec, assignments, codec=codec, seed=seed
+            ).items()
+        }

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from ..core.codecs import CompressedBlob
 from ..core.compression import CompressedStream
 from ..core.decompressor import DecompressorTiming
+from ..core.provider import WeightProvider
 from ..nn.arch import LayerSpec
 from ..noc.flit import TrafficClass
 from ..noc.mesh import Mesh
@@ -47,17 +48,32 @@ class CompressionEffect:
     segments_total: int
     units_per_pe: int = 8
     timing: DecompressorTiming = field(default_factory=DecompressorTiming)
+    #: streamed-decode timing: the fused decode+MAC pipeline starts on
+    #: the first arriving tile, overlapping datapath cycles with the
+    #: fetch (see ``repro.noc.pe`` / ``repro.noc.transaction``)
+    streamed: bool = False
 
     @classmethod
-    def from_stream(cls, stream: CompressedStream, units_per_pe: int = 8) -> "CompressionEffect":
+    def from_stream(
+        cls,
+        stream: CompressedStream,
+        units_per_pe: int = 8,
+        streamed: bool = False,
+    ) -> "CompressionEffect":
         return cls(
             cr=stream.compression_ratio,
             segments_total=stream.num_segments,
             units_per_pe=units_per_pe,
+            streamed=streamed,
         )
 
     @classmethod
-    def from_blob(cls, blob: CompressedBlob, units_per_pe: int = 8) -> "CompressionEffect":
+    def from_blob(
+        cls,
+        blob: CompressedBlob,
+        units_per_pe: int = 8,
+        streamed: bool = False,
+    ) -> "CompressionEffect":
         """Effect of any registered codec's output (see ``repro.core.codecs``).
 
         Lossless codecs report no segments, so their effect models a
@@ -68,6 +84,28 @@ class CompressionEffect:
             cr=blob.compression_ratio,
             segments_total=blob.num_segments,
             units_per_pe=units_per_pe,
+            streamed=streamed,
+        )
+
+    @classmethod
+    def from_provider(
+        cls,
+        provider: WeightProvider,
+        units_per_pe: int = 8,
+        streamed: bool = False,
+    ) -> "CompressionEffect":
+        """Effect of a :class:`~repro.core.provider.WeightProvider`.
+
+        The provider carries the same accounting as the blob/stream it
+        wraps, so compressed weights flow to the compute model without
+        an intermediate full-size buffer.  ``streamed`` only takes
+        effect when the provider can actually decode incrementally.
+        """
+        return cls(
+            cr=provider.compression_ratio,
+            segments_total=provider.num_segments,
+            units_per_pe=units_per_pe,
+            streamed=streamed and provider.streaming,
         )
 
     def decompress_cycles(self, weights_per_pe: int, segments_per_pe: int) -> int:
@@ -115,6 +153,8 @@ class LayerSchedule:
     shared_class: TrafficClass | None = None
     #: decompressed weight count per PE (for energy accounting)
     decompressed_weights_per_pe: int = 0
+    #: streamed-decode timing mode (from the layer's CompressionEffect)
+    streamed: bool = False
 
     @property
     def total_read_bytes(self) -> int:
@@ -251,4 +291,5 @@ def build_schedule(
         pe_work=pe_work,
         shared_class=shared,
         decompressed_weights_per_pe=decompressed,
+        streamed=compression.streamed if compression is not None else False,
     )

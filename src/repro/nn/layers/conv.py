@@ -58,20 +58,63 @@ class Conv2D(Layer):
     def params(self) -> list[Parameter]:
         return [self.weight] + ([self.bias] if self.bias is not None else [])
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        weight_provider=None,
+    ) -> np.ndarray:
         n, c, h, w = x.shape
         if c != self.in_channels:
             raise ValueError(f"{self.name}: expected {self.in_channels} channels, got {c}")
         k, s, p = self.kernel_size, self.stride, self.padding
         cols, oh, ow = im2col(x, k, k, s, p)
-        wmat = self.weight.data.reshape(self.out_channels, -1)
-        out = cols @ wmat.T  # (N*oh*ow, O)
+        if weight_provider is not None:
+            if training:
+                raise ValueError(
+                    f"{self.name}: the fused streamed-weight path is "
+                    "inference-only (backward needs materialized weights)"
+                )
+            out = self._matmul_streamed(cols, weight_provider)
+        else:
+            wmat = self.weight.data.reshape(self.out_channels, -1)
+            out = cols @ wmat.T  # (N*oh*ow, O)
         if self.bias is not None:
             out += self.bias.data
         y = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
         if training:
             self._cache = (x.shape, cols)
         return np.ascontiguousarray(y)
+
+    def _matmul_streamed(self, cols: np.ndarray, provider) -> np.ndarray:
+        """Fused decode+MAC over output-channel tiles.
+
+        The OIHW kernel's C-order stream is filter-major: a tile of
+        ``r * (I*kh*kw)`` elements is ``r`` whole filters, so each tile
+        fills ``r`` output columns of the im2col GEMM as it is decoded.
+        """
+        from ...core.decompressor import DEFAULT_TILE_WEIGHTS
+
+        kernel_elems = self.in_channels * self.kernel_size**2
+        expected = self.out_channels * kernel_elems
+        if provider.num_weights != expected:
+            raise ValueError(
+                f"{self.name}: provider yields {provider.num_weights} "
+                f"weights, layer needs {expected}"
+            )
+        cur = provider.cursor(dtype=self.weight.data.dtype)
+        filters_per_tile = max(1, DEFAULT_TILE_WEIGHTS // kernel_elems)
+        out = np.empty(
+            (cols.shape[0], self.out_channels),
+            dtype=np.result_type(cols, self.weight.data),
+        )
+        o = 0
+        while o < self.out_channels:
+            r = min(filters_per_tile, self.out_channels - o)
+            block = cur.read(r * kernel_elems).reshape(r, kernel_elems)
+            out[:, o : o + r] = cols @ block.T
+            o += r
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -136,7 +179,12 @@ class DepthwiseConv2D(Layer):
     def params(self) -> list[Parameter]:
         return [self.weight] + ([self.bias] if self.bias is not None else [])
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        weight_provider=None,
+    ) -> np.ndarray:
         n, c, h, w = x.shape
         if c != self.channels:
             raise ValueError(f"{self.name}: expected {self.channels} channels, got {c}")
@@ -145,14 +193,54 @@ class DepthwiseConv2D(Layer):
         xf = x.reshape(n * c, 1, h, w)
         cols, oh, ow = im2col(xf, k, k, s, p)  # (N*C*oh*ow, k*k)
         cols4 = cols.reshape(n, c, oh * ow, k * k)
-        wmat = self.weight.data.reshape(c, k * k)
-        out = np.einsum("ncpk,ck->ncp", cols4, wmat)
+        if weight_provider is not None:
+            if training:
+                raise ValueError(
+                    f"{self.name}: the fused streamed-weight path is "
+                    "inference-only (backward needs materialized weights)"
+                )
+            out = self._einsum_streamed(cols4, weight_provider)
+        else:
+            wmat = self.weight.data.reshape(c, k * k)
+            out = np.einsum("ncpk,ck->ncp", cols4, wmat)
         if self.bias is not None:
             out += self.bias.data[None, :, None]
         y = out.reshape(n, c, oh, ow)
         if training:
             self._cache = ((n * c, 1, h, w), cols4)
         return y
+
+    def _einsum_streamed(self, cols4: np.ndarray, provider) -> np.ndarray:
+        """Fused decode+MAC over channel tiles of the (C, 1, k, k) kernel.
+
+        The C-order stream is channel-major, so a tile of ``r * k*k``
+        elements is ``r`` whole per-channel filters and fills ``r``
+        channel slices of the output as it is decoded.
+        """
+        from ...core.decompressor import DEFAULT_TILE_WEIGHTS
+
+        kk = self.kernel_size**2
+        expected = self.channels * kk
+        if provider.num_weights != expected:
+            raise ValueError(
+                f"{self.name}: provider yields {provider.num_weights} "
+                f"weights, layer needs {expected}"
+            )
+        cur = provider.cursor(dtype=self.weight.data.dtype)
+        channels_per_tile = max(1, DEFAULT_TILE_WEIGHTS // kk)
+        n, c, npix, _ = cols4.shape
+        out = np.empty(
+            (n, c, npix), dtype=np.result_type(cols4, self.weight.data)
+        )
+        ch = 0
+        while ch < self.channels:
+            r = min(channels_per_tile, self.channels - ch)
+            block = cur.read(r * kk).reshape(r, kk)
+            out[:, ch : ch + r] = np.einsum(
+                "ncpk,ck->ncp", cols4[:, ch : ch + r], block
+            )
+            ch += r
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -43,14 +43,55 @@ class Dense(Layer):
     def params(self) -> list[Parameter]:
         return [self.weight] + ([self.bias] if self.bias is not None else [])
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        weight_provider=None,
+    ) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"{self.name}: expected (N, {self.in_features}), got {x.shape}"
             )
+        if weight_provider is not None:
+            if training:
+                raise ValueError(
+                    f"{self.name}: the fused streamed-weight path is "
+                    "inference-only (backward needs materialized weights)"
+                )
+            return self._forward_streamed(x, weight_provider)
         if training:
             self._x = x
         y = x @ self.weight.data
+        if self.bias is not None:
+            y += self.bias.data
+        return y
+
+    def _forward_streamed(self, x: np.ndarray, provider) -> np.ndarray:
+        """Fused decode+MAC: consume ``W`` row-tiles straight off a cursor.
+
+        The stream is the C-order serialization of ``W`` (rows = input
+        neurons), so a tile of ``r * out_features`` elements is ``r``
+        whole rows and contributes ``x[:, rows] @ tile`` to the output —
+        no full-size weight buffer ever exists on this path.
+        """
+        from ...core.decompressor import DEFAULT_TILE_WEIGHTS
+
+        expected = self.in_features * self.out_features
+        if provider.num_weights != expected:
+            raise ValueError(
+                f"{self.name}: provider yields {provider.num_weights} "
+                f"weights, layer needs {expected}"
+            )
+        cur = provider.cursor(dtype=self.weight.data.dtype)
+        rows_per_tile = max(1, DEFAULT_TILE_WEIGHTS // self.out_features)
+        y = np.zeros((x.shape[0], self.out_features), dtype=np.result_type(x, self.weight.data))
+        row = 0
+        while row < self.in_features:
+            r = min(rows_per_tile, self.in_features - row)
+            block = cur.read(r * self.out_features).reshape(r, self.out_features)
+            y += x[:, row : row + r] @ block
+            row += r
         if self.bias is not None:
             y += self.bias.data
         return y

@@ -10,6 +10,14 @@ weight and ifmap bytes have arrived from the memory interfaces, spend
 (decompression is pipelined with the MACs, so the slower of the two sets
 the pace), then stream the output feature map back to its memory
 interface.  Event counters feed the energy model.
+
+With ``streamed=True`` (the fused decode+MAC timing of
+:mod:`repro.core.provider`), the datapath additionally overlaps the
+*fetch*: decoding starts on the first arriving input tile instead of
+waiting for the whole compressed tile to land in local SRAM, so
+datapath cycles elapsed while the fetch tail is still in flight are
+hidden.  The hidden cycles are counted in
+``NocStats.decode_overlap_cycles``.
 """
 
 from __future__ import annotations
@@ -45,6 +53,11 @@ class PETask:
     #: demand mode: the PE requests its inputs from this memory
     #: interface instead of relying on a static schedule (None = static)
     request_mc: int | None = None
+    #: streamed-decode timing: the fused decode+MAC pipeline starts on
+    #: the first arriving input tile, so datapath cycles elapsed while
+    #: the rest of the fetch is still in flight are hidden instead of
+    #: serialized after it (False = classic materialize-then-compute)
+    streamed: bool = False
 
     @property
     def datapath_cycles(self) -> int:
@@ -59,6 +72,7 @@ class ProcessingElement(Node):
         self._got_weight = 0
         self._got_ifmap = 0
         self._compute_until: int | None = None
+        self._first_input_cycle: int | None = None
         self._sent_output = False
         self._requested = False
         self.busy_cycles = 0
@@ -72,6 +86,7 @@ class ProcessingElement(Node):
         self._got_weight = 0
         self._got_ifmap = 0
         self._compute_until = None
+        self._first_input_cycle: int | None = None
         self._requested = task.request_mc is None
         self._sent_output = task.ofmap_bytes == 0
         if self.sim is not None:
@@ -100,6 +115,10 @@ class ProcessingElement(Node):
             self._got_weight += packet.payload_bytes
         elif packet.traffic_class is TrafficClass.IFMAP:
             self._got_ifmap += packet.payload_bytes
+        else:
+            return
+        if self._first_input_cycle is None:
+            self._first_input_cycle = cycle
 
     def step(self, cycle: int) -> None:
         task = self.task
@@ -127,6 +146,15 @@ class ProcessingElement(Node):
         if self._compute_until is None:
             if self._inputs_ready():
                 dur = max(task.datapath_cycles, 1)
+                if task.streamed and self._first_input_cycle is not None:
+                    # fused decode+MAC: the datapath has been consuming
+                    # tiles since the first input arrived, so the cycles
+                    # elapsed during the fetch tail are already done
+                    overlap = min(cycle - self._first_input_cycle, dur - 1)
+                    if overlap > 0:
+                        dur -= overlap
+                        if self.sim is not None:
+                            self.sim.stats.decode_overlap_cycles += overlap
                 self._compute_until = cycle + dur
                 self.busy_cycles += dur
                 self.macs_done += task.macs

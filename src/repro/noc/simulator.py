@@ -135,6 +135,9 @@ class NocStats:
     flits_corrupted: int = 0
     packets_dropped: int = 0
     packets_corrupted: int = 0
+    #: PE datapath cycles hidden under input fetch by streamed decode
+    #: (zero unless a PETask runs with ``streamed=True``)
+    decode_overlap_cycles: int = 0
 
     def record_delivery(self, packet: Packet) -> None:
         self.packets_delivered += 1
@@ -621,6 +624,7 @@ class NocSimulator:
         ("flits_corrupted", "noc.flits.corrupted"),
         ("buffer_reads", "noc.buffer.reads"),
         ("buffer_writes", "noc.buffer.writes"),
+        ("decode_overlap_cycles", "noc.decode.overlap_cycles"),
     )
 
     def _obs_base(self) -> tuple:

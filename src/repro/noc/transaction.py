@@ -128,6 +128,13 @@ class TransactionModel:
             (max(compute, decomp) for (_, _, _, compute, decomp, _) in schedule.pe_work.values()),
             default=0,
         )
+        if schedule.streamed and t_comp > 0:
+            # streamed decode: the fused decode+MAC pipeline starts on
+            # the first arriving tile, so datapath cycles elapsed during
+            # the read phase are hidden — only the tail past the fetch
+            # is exposed (the first-tile ramp is already part of
+            # ``t_comm``).  Mirrors the flit-level PE's streamed timing.
+            t_comp = max(t_comp - t_read, 1)
         return LatencyComponents(
             memory=t_read + t_write, communication=t_comm, computation=t_comp
         )

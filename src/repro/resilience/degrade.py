@@ -40,6 +40,12 @@ class DamageReport:
     zeroed_weights: int
     #: parsed lengths summed to a different total than declared
     resynchronized: bool
+    #: segments whose cumulative length extends past the declared weight
+    #: count (the strict decoder rejects these; here their tail is
+    #: truncated) — a corrupted length field usually shows up this way
+    overrun_segments: int = 0
+    #: weights produced past the declared count and dropped
+    overrun_weights: int = 0
 
     @property
     def clean(self) -> bool:
@@ -77,6 +83,11 @@ def decode_degraded(
         else np.zeros(0)
     )
     produced = int(out.size)
+    # overruns: which parsed segments spill past the declared count
+    # (mirrors the strict decoder's expected_weights bounds check, which
+    # names the first overrunning segment and raises)
+    ends = np.cumsum(lengths[keep]) if keep.any() else np.zeros(0, dtype=np.int64)
+    overrun_segments = int(np.count_nonzero(ends > declared))
     if produced > declared:
         out = out[:declared]
     elif produced < declared:
@@ -87,5 +98,7 @@ def decode_degraded(
         damaged_segments=int(np.count_nonzero(bad)),
         zeroed_weights=min(int(zeroed), declared),
         resynchronized=produced != declared,
+        overrun_segments=overrun_segments,
+        overrun_weights=max(produced - declared, 0),
     )
     return out.astype(dtype), report

@@ -114,6 +114,16 @@ class TestLZ:
         with pytest.raises(ValueError):
             lz_decode(bytes([0x01, 0xFF, 0x0F]))
 
+    def test_match_at_window_boundary(self):
+        # a repeat exactly one window apart must round-trip: the 12-bit
+        # distance field tops out at 4095, so the encoder may not emit a
+        # distance-4096 match (it used to, corrupting the stream)
+        block = np.random.default_rng(5).integers(
+            0, 256, 4096, dtype=np.uint8
+        ).tobytes()
+        data = block + block
+        assert lz_decode(lz_encode(data)) == data
+
     @given(data=st.binary(max_size=1500))
     @settings(max_examples=60, deadline=None)
     def test_roundtrip_property(self, data):

@@ -1,0 +1,148 @@
+"""Streamed decode == materialized decode, bit for bit.
+
+The regression contract of the fused decode+MAC path
+(:mod:`repro.core.provider` / :class:`repro.core.decompressor.
+WeightStream`): streaming only changes *when* decoded weights exist,
+never what they are.  Property-tested here across accumulation dtypes,
+arbitrary read-chunk patterns, and every registered codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codecs import get_codec
+from repro.core.compression import compress
+from repro.core.decompressor import WeightStream, decompress_accumulate
+from repro.core.provider import (
+    ArrayProvider,
+    BlobProvider,
+    StreamProvider,
+    provider_for,
+)
+
+from .test_fuzz_codecs import ALL_CODECS
+
+ACC_DTYPES = [np.float32, np.float64]
+
+
+def _weights(seed: int, size: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(size).astype(np.float32)
+
+
+class TestWeightStreamBitIdentical:
+    @pytest.mark.parametrize("acc_dtype", ACC_DTYPES)
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=31),
+        size=st.integers(min_value=1, max_value=4000),
+        chunk_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_arbitrary_chunk_pattern(self, acc_dtype, seed, size, chunk_seed):
+        stream = compress(_weights(seed, size), delta=0.05)
+        ref = decompress_accumulate(stream, acc_dtype=acc_dtype)
+
+        ws = WeightStream(stream, acc_dtype=acc_dtype)
+        rng = np.random.default_rng(chunk_seed)
+        parts = []
+        while ws.remaining:
+            parts.append(ws.read(int(rng.integers(1, size + 1))))
+        out = np.concatenate(parts)
+        assert out.dtype == ref.dtype
+        np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("acc_dtype", ACC_DTYPES)
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=31),
+        tile=st.integers(min_value=1, max_value=997),
+    )
+    def test_tile_iteration(self, acc_dtype, seed, tile):
+        stream = compress(_weights(seed, 3000), delta=0.05)
+        ref = decompress_accumulate(stream, acc_dtype=acc_dtype)
+        ws = WeightStream(stream, acc_dtype=acc_dtype)
+        out = np.concatenate(list(ws.tiles(tile)))
+        np.testing.assert_array_equal(out, ref)
+
+    def test_reset_restarts_the_pass(self):
+        stream = compress(_weights(3, 2000), delta=0.05)
+        ws = WeightStream(stream)
+        first = ws.read(777).copy()
+        ws.reset()
+        np.testing.assert_array_equal(ws.read(777), first)
+
+
+class TestProvidersBitIdentical:
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @pytest.mark.parametrize("acc_dtype", ACC_DTYPES)
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=15),
+        chunk=st.integers(min_value=1, max_value=1500),
+    )
+    def test_every_codec_streamed_equals_materialized(
+        self, name, acc_dtype, seed, chunk
+    ):
+        blob = get_codec(name, delta_pct=10.0).encode(_weights(seed, 1200))
+        provider = provider_for(blob)
+        assert isinstance(provider, BlobProvider)
+        ref = provider.materialize(dtype=acc_dtype)
+
+        cur = provider.cursor(dtype=acc_dtype)
+        parts = []
+        while cur.remaining:
+            parts.append(cur.read(chunk))
+        out = np.concatenate(parts)
+        assert out.dtype == ref.dtype
+        np.testing.assert_array_equal(out, ref)
+
+    def test_linefit_blob_streams_without_materializing(self):
+        blob = get_codec("linefit", delta_pct=10.0).encode(_weights(0, 1000))
+        provider = provider_for(blob)
+        assert provider.streaming
+        # streamed values equal the codec's own whole-payload decode
+        codec = get_codec("linefit", delta_pct=10.0)
+        np.testing.assert_array_equal(
+            provider.materialize(dtype=np.float32),
+            np.asarray(codec.decode(blob), dtype=np.float32),
+        )
+
+    def test_non_linefit_blobs_fall_back_to_materialization(self):
+        blob = get_codec("rle").encode(_weights(1, 500))
+        provider = provider_for(blob)
+        assert not provider.streaming
+
+    @pytest.mark.parametrize("acc_dtype", ACC_DTYPES)
+    def test_stream_provider_equals_decompress_accumulate(self, acc_dtype):
+        stream = compress(_weights(5, 4096), delta=0.05)
+        provider = provider_for(stream)
+        assert isinstance(provider, StreamProvider)
+        assert provider.streaming
+        np.testing.assert_array_equal(
+            provider.materialize(dtype=acc_dtype),
+            decompress_accumulate(stream, acc_dtype=acc_dtype),
+        )
+
+    def test_array_provider_round_trip(self):
+        w = _weights(7, 321)
+        provider = provider_for(w)
+        assert isinstance(provider, ArrayProvider)
+        np.testing.assert_array_equal(provider.materialize(), w)
+        cur = provider.cursor()
+        np.testing.assert_array_equal(
+            np.concatenate([cur.read(100), cur.read(1000)]), w
+        )
+
+    def test_provider_for_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            provider_for(object())
+
+    def test_cursors_are_independent_passes(self):
+        stream = compress(_weights(9, 2048), delta=0.05)
+        provider = provider_for(stream)
+        a, b = provider.cursor(), provider.cursor()
+        first = a.read(512)
+        np.testing.assert_array_equal(b.read(512), first)

@@ -46,6 +46,7 @@ SCALAR_FIELDS = (
     "flits_corrupted",
     "packets_dropped",
     "packets_corrupted",
+    "decode_overlap_cycles",
 )
 
 

@@ -78,6 +78,9 @@ class TestDamagedPayload:
         assert out.size == declared + 100
         np.testing.assert_array_equal(out[-100:], 0.0)
         assert report.resynchronized
+        # underrun, not overrun: nothing spilled past the declared count
+        assert report.overrun_segments == 0
+        assert report.overrun_weights == 0
 
     def test_output_truncated_to_declared_count(self, stream):
         payload = wire.encode(stream)
@@ -85,6 +88,18 @@ class TestDamagedPayload:
         out, report = decode_degraded(payload, declared - 100)
         assert out.size == declared - 100
         assert report.resynchronized
+        # the overrun is recorded, mirroring the strict decoder's
+        # expected_weights bounds check (which raises instead)
+        ends = np.cumsum(stream.lengths)
+        assert report.overrun_segments == int(np.count_nonzero(ends > declared - 100))
+        assert report.overrun_segments >= 1
+        assert report.overrun_weights == 100
+
+    def test_clean_payload_reports_no_overrun(self, stream):
+        payload = wire.encode(stream)
+        _, report = decode_degraded(payload, int(stream.lengths.sum()))
+        assert report.overrun_segments == 0
+        assert report.overrun_weights == 0
 
     def test_determinism(self, stream):
         damaged = self._flip_segment_byte(wire.encode(stream), 3, stream.fmt)
@@ -113,3 +128,11 @@ class TestDamageReport:
         assert DamageReport(10, 0, 0, False).clean
         assert not DamageReport(10, 1, 5, False).clean
         assert not DamageReport(10, 0, 0, True).clean
+
+    def test_overrun_implies_resynchronized(self, stream):
+        payload = wire.encode(stream)
+        declared = int(stream.lengths.sum())
+        _, report = decode_degraded(payload, declared - 1)
+        assert report.overrun_segments >= 1
+        assert report.resynchronized
+        assert not report.clean
