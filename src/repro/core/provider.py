@@ -30,6 +30,8 @@ call sites across ``nn``/``mapping`` accept one spelling.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from .compression import CompressedStream
@@ -171,6 +173,14 @@ class BlobProvider(WeightProvider):
     first cursor materializes the decode once (cached on the provider)
     and subsequent cursors serve views — the provider contract holds
     either way, only the peak memory differs.
+
+    Providers are safe to share across threads: the materialize-once
+    step is guarded by a lock (exactly one decode runs, concurrent
+    cursors wait for the finished array instead of observing a
+    partially-populated cache), and every cursor carries its own read
+    position, so interleaved consumers never perturb each other.  The
+    cached array is served as a read-only view contract — consumers
+    must not write through it.
     """
 
     def __init__(self, blob) -> None:
@@ -180,6 +190,7 @@ class BlobProvider(WeightProvider):
         self.compression_ratio = blob.compression_ratio
         self._stream: CompressedStream | None = None
         self._decoded: np.ndarray | None = None
+        self._materialize_lock = threading.Lock()
         if blob.codec == "linefit":
             from .codecs import get_codec  # local import: codecs -> core cycles
 
@@ -197,19 +208,28 @@ class BlobProvider(WeightProvider):
         return self._stream is not None
 
     def _materialized(self) -> np.ndarray:
-        if self._decoded is None:
-            from .codecs import get_codec
+        # double-checked: the lock-free fast path reads an attribute
+        # that is only ever assigned a *fully decoded* array under the
+        # lock, so concurrent cursors either see None (and queue on the
+        # lock) or the finished decode — never a partial one, and the
+        # decode itself runs exactly once
+        decoded = self._decoded
+        if decoded is None:
+            with self._materialize_lock:
+                decoded = self._decoded
+                if decoded is None:
+                    from .codecs import get_codec
 
-            codec = get_codec(self._blob.codec, **self._blob.params)
-            decoded = np.asarray(codec.decode(self._blob)).ravel()
-            if self.num_weights and decoded.size != self.num_weights:
-                raise CodecError(
-                    f"blob decoded to {decoded.size} weights, "
-                    f"declared {self.num_weights}"
-                )
-            self._decoded = decoded
-            self.num_weights = int(decoded.size)
-        return self._decoded
+                    codec = get_codec(self._blob.codec, **self._blob.params)
+                    decoded = np.asarray(codec.decode(self._blob)).ravel()
+                    if self.num_weights and decoded.size != self.num_weights:
+                        raise CodecError(
+                            f"blob decoded to {decoded.size} weights, "
+                            f"declared {self.num_weights}"
+                        )
+                    self.num_weights = int(decoded.size)
+                    self._decoded = decoded
+        return decoded
 
     def cursor(self, dtype=np.float32) -> WeightCursor:
         if self._stream is not None:

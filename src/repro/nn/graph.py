@@ -206,6 +206,42 @@ class Model:
                     grads[src] = gi
         return grads[INPUT]
 
+    def forward_streamed(
+        self, x: np.ndarray, weight_providers: dict
+    ) -> np.ndarray:
+        """Inference forward with per-layer fused streamed weights.
+
+        ``weight_providers`` maps node names to
+        :class:`~repro.core.provider.WeightProvider` instances; those
+        nodes consume their weights tile-by-tile through the fused
+        decode+MAC path (``layer.forward(weight_provider=...)``) while
+        every other node runs the classic materialized forward.  This
+        is the serving path: the provider decides whether tiles come
+        from a hot decoded-weight cache or a streaming decode, and the
+        layer's stored weights are never read for provided nodes.
+        """
+        unknown = set(weight_providers) - set(self._nodes)
+        if unknown:
+            raise ValueError(
+                f"weight providers for unknown nodes: {sorted(unknown)}"
+            )
+        acts: dict[str, np.ndarray] = {INPUT: np.asarray(x, dtype=np.float32)}
+        for name in self._order:
+            node = self._nodes[name]
+            layer = node.layer
+            provider = weight_providers.get(name)
+            if isinstance(layer, MergeLayer):
+                if provider is not None:
+                    raise ValueError(f"merge layer {name!r} takes no weights")
+                acts[name] = layer.forward([acts[i] for i in node.inputs])
+            elif provider is not None:
+                acts[name] = layer.forward(
+                    acts[node.inputs[0]], weight_provider=provider
+                )
+            else:
+                acts[name] = layer.forward(acts[node.inputs[0]])
+        return acts[self._order[-1]]
+
     def forward_traced(
         self, x: np.ndarray
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:

@@ -9,8 +9,11 @@ the weights, the delta, the codec spec, the storage format, or the
 evaluation set and you address a different entry; stale files are never
 *wrong*, merely unreachable.
 
-Writes are atomic (temp file + ``os.replace``), so a sweep killed
-mid-write never leaves a truncated entry behind.  An entry that exists
+Writes are atomic (temp file + flush + fsync + ``os.replace``), so a
+sweep killed mid-write never leaves a truncated entry behind, and two
+processes racing a ``put`` on the same key both land a readable entry
+(each writes its own temp file; the replaces serialize, last writer
+wins).  An entry that exists
 but cannot be read back (truncated by an external writer, bit-rotted,
 hand-edited) is *quarantined* — moved aside to ``<key>.corrupt`` — and
 treated as a miss, so the next ``put`` rebuilds it and the damaged bytes
@@ -124,6 +127,13 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as f:
                 json.dump(doc, f)
+                # flush + fsync *before* the rename: os.replace is atomic
+                # against concurrent readers, but without the fsync a
+                # crash can reorder the metadata ahead of the data and
+                # leave a truncated entry under the final name — which a
+                # later get() would quarantine as corruption
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
             self.puts += 1
             obs.current().count("cache.puts")

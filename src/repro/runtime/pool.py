@@ -83,13 +83,20 @@ class RunPolicy:
     Parameters
     ----------
     timeout:
-        Per-task wall-clock budget in seconds while waiting on pool
-        results (``None`` = wait forever, the strict default).  On
-        expiry the pool is *abandoned* — already-finished results are
-        salvaged, unfinished tasks re-dispatch serially in the caller's
-        process — because a hung worker cannot be reliably killed
-        through ``concurrent.futures``.  Only effective with ``jobs >
-        1``; a serial run executes in-process where no watchdog exists.
+        Per-task wall-clock budget in seconds, measured from *pool
+        submission* (``None`` = wait forever, the strict default).
+        Every task's deadline is ``submission + timeout``, and the
+        collection loop waits only for the *remaining* deadline when it
+        reaches a task — so a hung task is declared within ~``timeout``
+        of submission no matter where it sits in the futures list,
+        instead of inheriting its predecessors' runtimes on top of its
+        own budget.  On expiry the pool is *abandoned* — already-
+        finished results are salvaged, unfinished tasks (including any
+        that were still queued behind busy workers) re-dispatch
+        serially in the caller's process — because a hung worker cannot
+        be reliably killed through ``concurrent.futures``.  Only
+        effective with ``jobs > 1``; a serial run executes in-process
+        where no watchdog exists.
     retries:
         Extra attempts granted to a task whose attempt *raised* (crash
         injection, flaky I/O).  ``0`` keeps fail-fast semantics.
@@ -280,10 +287,22 @@ def _run_with_policy(
     if jobs > 1 and len(pending) > 1:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
         futures = {i: pool.submit(_attempt_call, tasks[i].fn, tasks[i].args) for i in pending}
+        # every task's deadline runs from submission, not from when the
+        # sequential collection loop happens to reach its future — a
+        # task late in the list must not get ``timeout`` *plus* the sum
+        # of its predecessors' runtimes before being declared hung
+        deadline = (
+            None if policy.timeout is None else time.perf_counter() + policy.timeout
+        )
         healthy = True
         for i in pending:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.perf_counter())
+            )
             try:
-                _settle(i, futures[i].result(timeout=policy.timeout))
+                _settle(i, futures[i].result(timeout=remaining))
             except (FuturesTimeout, TimeoutError):
                 timings.add("task_timeouts")
                 healthy = False

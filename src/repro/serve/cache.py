@@ -1,0 +1,139 @@
+"""Bounded LRU cache of decoded weight arrays, shared across requests.
+
+Decoding a compressed layer is the expensive step of serving a
+:class:`~repro.core.model_store.ModelArchive`; re-materializing per
+request would hit the memory wall the compression exists to avoid.
+This cache keeps decoded arrays *hot* under a byte budget: entries are
+keyed by the same content-address scheme the sweep runtime uses
+(:func:`repro.runtime.keys.result_key` over payload fingerprint, codec
+spec and shape — so two layers holding identical blobs share one
+entry), served as zero-copy :class:`~repro.core.provider.ArrayProvider`
+views into the fused decode+MAC forward path, and evicted
+least-recently-used when the budget is exceeded.
+
+Eviction is safe by construction: an evicted array stays alive for as
+long as any in-flight forward still holds its provider (ordinary
+refcounting); the *next* request simply re-decodes into a fresh entry.
+The cache is thread-safe — the service's executor thread, the event
+loop, and any sibling service sharing the cache may interleave freely.
+
+Counters mirror the :class:`~repro.runtime.cache.ResultCache` idiom:
+plain attributes for direct inspection plus ambient
+:mod:`repro.obs` counts (``serve.cache.hits`` / ``misses`` /
+``evictions`` and a ``serve.cache.bytes`` gauge) when a scope is
+installed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from .. import obs
+from ..core.provider import ArrayProvider
+
+__all__ = ["DecodedWeightCache"]
+
+#: default byte budget: enough for every zoo proxy, small enough that a
+#: paper-scale model exercises eviction
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+class DecodedWeightCache:
+    """Keyed store of decoded weight arrays with LRU byte-budget eviction.
+
+    Parameters
+    ----------
+    max_bytes:
+        Total decoded-array budget.  A single entry larger than the
+        budget is still admitted (and evicts everything else) — the
+        alternative, refusing to cache it, would re-decode the biggest
+        layer on every request, the exact pathology the cache exists to
+        prevent.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def provider(self, key: str, decode: Callable[[], np.ndarray]) -> ArrayProvider:
+        """An :class:`ArrayProvider` over the decoded array for ``key``.
+
+        On a hit the cached array is served directly (zero copy, entry
+        touched most-recently-used).  On a miss ``decode()`` runs —
+        outside the lock, so one layer's slow decode never blocks hits
+        on other layers — and the result is admitted under the budget.
+        Two threads missing the same key concurrently may both decode;
+        the first insert wins and both serve identical values (decode
+        is deterministic), so the only cost of that benign race is one
+        redundant decode.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        o = obs.current()
+        if cached is not None:
+            o.count("serve.cache.hits")
+            return ArrayProvider(cached)
+        decoded = np.ascontiguousarray(np.asarray(decode())).ravel()
+        with self._lock:
+            self.misses += 1
+            existing = self._entries.get(key)
+            if existing is None:
+                self._entries[key] = decoded
+                self._entries.move_to_end(key)
+                self.bytes += decoded.nbytes
+                self._evict_over_budget()
+            else:
+                # lost the benign double-decode race: serve the winner
+                self._entries.move_to_end(key)
+                decoded = existing
+            total = self.bytes
+        o.count("serve.cache.misses")
+        o.gauge("serve.cache.bytes", total)
+        return ArrayProvider(decoded)
+
+    def _evict_over_budget(self) -> None:
+        """Drop least-recently-used entries until under budget.
+
+        The newest entry is never evicted on its own admission — an
+        over-budget singleton stays (see class docstring).  Caller
+        holds the lock.
+        """
+        while self.bytes > self.max_bytes and len(self._entries) > 1:
+            _, arr = self._entries.popitem(last=False)
+            self.bytes -= arr.nbytes
+            self.evictions += 1
+            obs.current().count("serve.cache.evictions")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.bytes = 0
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_bytes": self.bytes,
+        }

@@ -1,0 +1,89 @@
+"""Ready-made served models for the demo entry point and benchmarks.
+
+Two sizes, two purposes:
+
+* :func:`demo_model` — the paper's LeNet-5 proxy with its selected
+  layer (``dense_1``) linefit-compressed at the paper's mid-grid delta:
+  the realistic shape, used by ``python -m repro.serve`` and the CI
+  smoke step.
+* :func:`bench_model` — a tiny MLP whose forward is ~10 µs, so the
+  saturation benchmark measures the *service* (queueing, batching,
+  dispatch overhead) rather than BLAS.  Batching amortizes per-request
+  service overhead; the smaller the forward, the more that overhead
+  dominates and the sharper the batched-vs-serial contrast.
+
+Both build untrained proxies (weights are the deterministic init):
+serving fidelity here means *archive roundtrip* fidelity — batched
+replies bit-identical to serial replies bit-identical to the fused
+streamed forward — which is independent of whether the weights were
+trained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model_store import compress_model
+from ..nn.layers import Dense, ReLU, Softmax
+from ..nn.sequential import Sequential
+from ..nn.zoo import lenet5
+from .cache import DecodedWeightCache
+from .model import ServedModel
+
+__all__ = ["demo_model", "bench_model", "demo_inputs", "BENCH_INPUT_SHAPE"]
+
+#: per-sample input shape of :func:`bench_model`
+BENCH_INPUT_SHAPE = (64,)
+
+
+def demo_model(
+    cache: DecodedWeightCache | None = None,
+    delta_pct: float = 5.0,
+    codec: str = "linefit",
+) -> ServedModel:
+    """LeNet-5 proxy served from a compressed archive.
+
+    ``dense_1`` (the paper's selected layer for this network) is stored
+    as a codec blob at ``delta_pct``; the conv layers stay raw, exactly
+    the paper's single-layer compression setup.
+    """
+    model = lenet5.proxy()
+    archive = compress_model(model, {lenet5.SELECTED_LAYER: delta_pct}, codec=codec)
+    return ServedModel(
+        lenet5.proxy(),  # fresh skeleton: everything comes from the archive
+        archive,
+        cache=cache,
+        input_shape=lenet5.INPUT_SHAPE,
+    )
+
+
+def bench_model(cache: DecodedWeightCache | None = None) -> ServedModel:
+    """Tiny MLP (64 -> 64 -> 10) for service-overhead benchmarking."""
+    def build() -> object:
+        rng = np.random.default_rng(7)
+        return Sequential(
+            [
+                ("dense_1", Dense(BENCH_INPUT_SHAPE[0], 64, rng=rng)),
+                ("relu_1", ReLU()),
+                ("dense_2", Dense(64, 10, rng=rng)),
+                ("softmax", Softmax()),
+            ],
+            name="serve-bench-mlp",
+        )
+
+    archive = compress_model(build(), {"dense_1": 5.0}, codec="linefit")
+    return ServedModel(
+        build(), archive, cache=cache, input_shape=BENCH_INPUT_SHAPE
+    )
+
+
+def demo_inputs(
+    n: int,
+    input_shape: tuple[int, ...] = lenet5.INPUT_SHAPE,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Deterministic request payloads (unit-normal, float32)."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.standard_normal(input_shape).astype(np.float32) for _ in range(n)
+    ]

@@ -1,0 +1,167 @@
+"""A :class:`~repro.core.model_store.ModelArchive` wired for serving.
+
+:class:`ServedModel` is the bridge between the deployable artifact (a
+compressed archive) and the request path: raw layers and non-weight
+state install into the model skeleton once at load time, while
+compressed layers stay *compressed* — each forward pass resolves them
+through the :class:`~repro.serve.cache.DecodedWeightCache` into the
+fused streamed-weight forward
+(:meth:`repro.nn.graph.Model.forward_streamed`), so decoded arrays
+live in one bounded, shared, evictable place instead of being baked
+into every model instance.
+
+Batch forwards run **per sample**: each request's output is produced by
+exactly the computation a lone request would get, so batched and serial
+serving are bit-identical by construction (BLAS kernels are *not*
+batch-invariant — a stacked GEMM changes the answer in the last ulp —
+so sample isolation is the only way to keep the service's batching an
+invisible latency optimization).  What the batch amortizes is
+everything around the MACs: cache lookups and provider resolution
+happen once per batch, and the executor/event-loop round trip is paid
+once per batch rather than once per request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.codec import decode as wire_decode
+from ..core.codecs import CompressedBlob, get_codec
+from ..core.model_store import ModelArchive
+from ..nn.graph import Model
+from ..runtime.keys import fingerprint_bytes, result_key
+from .cache import DecodedWeightCache
+
+__all__ = ["ServedModel", "decoded_weight_key"]
+
+
+def decoded_weight_key(payload: bytes, spec: dict | None, shape: tuple) -> str:
+    """Content address of one layer's decoded weights.
+
+    The same scheme the sweep runtime uses (:func:`repro.runtime.keys.
+    result_key`): payload fingerprint + codec spec + shape.  Legacy
+    archives with no codec record hash under the wire-format sentinel.
+    """
+    codec = (
+        {"name": spec["name"], "params": spec.get("params")}
+        if spec is not None
+        else {"name": "__linefit-wire__", "params": None}
+    )
+    return result_key(
+        "decoded-weights",
+        payload=fingerprint_bytes(payload),
+        codec=codec,
+        shape=[int(s) for s in shape],
+    )
+
+
+class _CompressedLayer:
+    """One compressed archive layer: its blob, key, and decode recipe."""
+
+    __slots__ = ("name", "payload", "spec", "shape", "key")
+
+    def __init__(self, name: str, payload: bytes, spec: dict | None, shape: tuple):
+        self.name = name
+        self.payload = payload
+        self.spec = spec
+        self.shape = tuple(int(s) for s in shape)
+        self.key = decoded_weight_key(payload, spec, self.shape)
+
+    def decode(self) -> np.ndarray:
+        """Full decode of the layer's weight stream (cache-miss path)."""
+        if self.spec is None:
+            return wire_decode(self.payload).decompress().ravel()
+        codec = get_codec(self.spec["name"], **self.spec.get("params", {}))
+        blob = CompressedBlob.rebuild(self.spec, self.payload)
+        blob.verify(context=f"layer {self.name!r}")
+        return np.asarray(codec.decode(blob)).ravel()
+
+
+class ServedModel:
+    """An archive-backed model exposing the serving forward contract.
+
+    The contract the service consumes is just
+    ``forward_batch(list_of_samples) -> list_of_outputs`` (plus an
+    optional ``input_shape`` for admission-time validation), so tests
+    and exotic backends can substitute any duck-typed model.
+
+    Parameters
+    ----------
+    model:
+        Skeleton whose topology matches the archive (e.g. the zoo
+        proxy the archive was compressed from).  Raw layers and state
+        are installed into it immediately; compressed layers are left
+        untouched (their stored weights are never read on the serving
+        path).
+    archive:
+        The compressed container to serve.
+    cache:
+        Decoded-weight cache; a private default-budget cache is created
+        when not given, but sharing one cache across served models is
+        the intended deployment shape.
+    input_shape:
+        Per-sample input shape for request validation (``None`` skips
+        validation).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        archive: ModelArchive,
+        cache: DecodedWeightCache | None = None,
+        input_shape: tuple[int, ...] | None = None,
+    ) -> None:
+        self.model = model
+        self.archive = archive
+        self.cache = cache if cache is not None else DecodedWeightCache()
+        self.input_shape = tuple(input_shape) if input_shape is not None else None
+        # raw layers + non-weight state install once; compressed layers
+        # resolve per forward through the cache
+        for name, arr in archive.raw.items():
+            if name not in model:
+                raise ValueError(f"archive layer {name!r} unknown to model")
+            model.set_weights(name, arr)
+        if archive.state:
+            current = model.state_dict()
+            for key, arr in archive.state.items():
+                if key not in current:
+                    raise ValueError(f"archive state key {key!r} unknown to model")
+                current[key] = arr
+            model.load_state_dict(current)
+        self._compressed = []
+        for name, (payload, shape) in archive.compressed.items():
+            if name not in model:
+                raise ValueError(f"archive layer {name!r} unknown to model")
+            self._compressed.append(
+                _CompressedLayer(name, payload, archive.codecs.get(name), shape)
+            )
+
+    @property
+    def compressed_layers(self) -> list[str]:
+        return [c.name for c in self._compressed]
+
+    def providers(self) -> dict[str, object]:
+        """Resolve every compressed layer through the cache (hot path).
+
+        Called once per *batch*: the returned providers are zero-copy
+        views over cached decoded arrays, reused by every sample in the
+        batch — this is where serving amortizes the decode.
+        """
+        return {c.name: self.cache.provider(c.key, c.decode) for c in self._compressed}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Single-sample forward (adds/strips the batch dimension)."""
+        return self.forward_batch([x])[0]
+
+    def forward_batch(self, samples: list[np.ndarray]) -> list[np.ndarray]:
+        """Per-sample forwards sharing one provider resolution.
+
+        Outputs are bit-identical to serial single-request execution by
+        construction — see the module docstring for why the samples are
+        *not* stacked into one GEMM.
+        """
+        providers = self.providers()
+        return [
+            self.model.forward_streamed(np.asarray(x)[None, ...], providers)[0]
+            for x in samples
+        ]

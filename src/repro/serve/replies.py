@@ -1,0 +1,91 @@
+"""Typed replies of the inference service.
+
+Every submitted request gets exactly one reply object — there are no
+silent drops and no exceptions-as-flow-control on the serving path.  A
+degraded outcome (shed under load, missed deadline, failed forward) is
+a *first-class typed value* the client can branch on, mirroring how the
+sweep runtime surfaces salvaged/failed grid points instead of raising
+mid-sweep.
+
+``Ok`` carries the model output plus the request's measured latency and
+the size of the batch it rode in; the error replies carry enough to
+diagnose the degradation (queue depth at shed time, how long an expired
+request waited against which deadline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Reply", "Ok", "Overloaded", "DeadlineExceeded", "Failed"]
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Base of the closed reply union; ``ok`` discriminates success."""
+
+    status = "reply"
+
+    @property
+    def ok(self) -> bool:
+        return isinstance(self, Ok)
+
+
+@dataclass(frozen=True)
+class Ok(Reply):
+    """Successful inference within the deadline."""
+
+    output: np.ndarray
+    #: submit-to-reply wall-clock seconds
+    latency_s: float
+    #: how many requests shared the forward pass
+    batch_size: int
+
+    status = "ok"
+
+
+@dataclass(frozen=True)
+class Overloaded(Reply):
+    """Shed at admission: the bounded queue was full.
+
+    The request never entered the queue and the forward pass never ran
+    for it — load shedding costs the service almost nothing, which is
+    what keeps the latency of *admitted* requests bounded under
+    saturation.
+    """
+
+    queue_depth: int
+
+    status = "overloaded"
+
+
+@dataclass(frozen=True)
+class DeadlineExceeded(Reply):
+    """The per-request deadline expired.
+
+    Either the request expired while still queued (``executed=False`` —
+    the forward pass was skipped entirely) or the batch it joined
+    finished past its deadline (``executed=True`` — the result is
+    discarded rather than returned as a silent slow reply).
+    """
+
+    deadline_s: float
+    waited_s: float
+    executed: bool = field(default=False)
+
+    status = "deadline_exceeded"
+
+
+@dataclass(frozen=True)
+class Failed(Reply):
+    """The forward pass raised; the error is reported, not propagated.
+
+    One malformed request must not poison the other members of its
+    batch, so per-sample failures are contained here.
+    """
+
+    error: str
+
+    status = "failed"

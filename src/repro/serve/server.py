@@ -1,0 +1,158 @@
+"""JSON-lines TCP front end for :class:`~repro.serve.service.InferenceService`.
+
+The wire protocol is deliberately primitive — one JSON object per line
+in each direction — because the service semantics, not the transport,
+are the point:
+
+Request::
+
+    {"id": 7, "input": [[...]], "deadline": 0.25}
+
+(``deadline`` in seconds from receipt, optional — omitted means the
+service's configured policy applies.)
+
+Reply (one per request, matched by ``id``)::
+
+    {"id": 7, "status": "ok", "output": [...], "latency_s": 0.0021,
+     "batch_size": 4}
+    {"id": 8, "status": "overloaded", "queue_depth": 128}
+    {"id": 9, "status": "deadline_exceeded", "deadline_s": 0.25,
+     "waited_s": 0.31, "executed": false}
+    {"id": 10, "status": "failed", "error": "..."}
+
+Requests on one connection run *concurrently* (each line spawns a
+submit task), so a single client can saturate the batcher — replies may
+interleave out of request order, hence the ``id`` echo.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from .replies import DeadlineExceeded, Failed, Ok, Overloaded, Reply
+from .service import InferenceService
+
+__all__ = ["reply_to_doc", "serve_tcp", "request_many"]
+
+
+def reply_to_doc(reply: Reply) -> dict:
+    """Wire representation of a typed reply (without the ``id`` echo)."""
+    if isinstance(reply, Ok):
+        return {
+            "status": reply.status,
+            "output": np.asarray(reply.output).tolist(),
+            "latency_s": reply.latency_s,
+            "batch_size": reply.batch_size,
+        }
+    if isinstance(reply, Overloaded):
+        return {"status": reply.status, "queue_depth": reply.queue_depth}
+    if isinstance(reply, DeadlineExceeded):
+        return {
+            "status": reply.status,
+            "deadline_s": reply.deadline_s,
+            "waited_s": reply.waited_s,
+            "executed": reply.executed,
+        }
+    if isinstance(reply, Failed):
+        return {"status": reply.status, "error": reply.error}
+    raise TypeError(f"unknown reply type: {type(reply).__name__}")
+
+
+async def _handle_connection(
+    service: InferenceService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    lock = asyncio.Lock()  # one reply line at a time per connection
+    tasks: set[asyncio.Task] = set()
+
+    async def handle_line(doc: dict) -> None:
+        rid = doc.get("id")
+        try:
+            x = np.asarray(doc["input"], dtype=np.float32)
+            reply = await service.submit(x, deadline=doc.get("deadline"))
+            out = reply_to_doc(reply)
+        except Exception as e:  # malformed request: reply, keep serving
+            out = {"status": "failed", "error": f"{type(e).__name__}: {e}"}
+        out["id"] = rid
+        async with lock:
+            writer.write((json.dumps(out) + "\n").encode())
+            await writer.drain()
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                async with lock:
+                    writer.write(
+                        (json.dumps({"status": "failed", "error": str(e)}) + "\n").encode()
+                    )
+                    await writer.drain()
+                continue
+            task = asyncio.ensure_future(handle_line(doc))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def serve_tcp(
+    service: InferenceService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Start listening; returns the server (``server.sockets`` has the
+    bound address — ``port=0`` picks a free one)."""
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port
+    )
+
+
+async def request_many(
+    host: str,
+    port: int,
+    inputs: list[np.ndarray],
+    deadline: float | None = None,
+) -> list[dict]:
+    """Demo client: pipeline every input over one connection.
+
+    All requests are written before any reply is awaited (the server
+    handles them concurrently); returns reply docs re-ordered to match
+    ``inputs`` via the ``id`` echo.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i, x in enumerate(inputs):
+            doc = {"id": i, "input": np.asarray(x).tolist()}
+            if deadline is not None:
+                doc["deadline"] = deadline
+            writer.write((json.dumps(doc) + "\n").encode())
+        await writer.drain()
+        replies: dict[int, dict] = {}
+        while len(replies) < len(inputs):
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed mid-conversation")
+            doc = json.loads(line)
+            replies[doc["id"]] = doc
+        return [replies[i] for i in range(len(inputs))]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

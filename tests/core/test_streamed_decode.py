@@ -146,3 +146,81 @@ class TestProvidersBitIdentical:
         a, b = provider.cursor(), provider.cursor()
         first = a.read(512)
         np.testing.assert_array_equal(b.read(512), first)
+
+
+class TestBlobProviderConcurrency:
+    """The materialize-once fallback must hold under concurrent readers.
+
+    The async service shares one provider across in-flight requests, so
+    two interleaved ``cursor()`` consumers must never double-decode the
+    blob or observe a partially-populated cache.
+    """
+
+    def test_concurrent_cursors_decode_exactly_once(self, monkeypatch):
+        import threading
+
+        from repro.core.codecs.lossless import HuffmanCodec
+
+        w = _weights(21, 8192)
+        blob = get_codec("huffman").encode(w)
+        provider = BlobProvider(blob)
+        assert not provider.streaming  # huffman takes the materialize path
+
+        decodes = []
+        barrier = threading.Barrier(8)
+        real_decode = HuffmanCodec.decode
+
+        def counted_decode(self, b):
+            decodes.append(threading.get_ident())
+            # widen the race window: a second reader arriving mid-decode
+            # must wait on the lock, not start its own decode
+            import time
+
+            time.sleep(0.02)
+            return real_decode(self, b)
+
+        monkeypatch.setattr(HuffmanCodec, "decode", counted_decode)
+
+        results: list[np.ndarray] = [None] * 8
+        errors: list[BaseException] = []
+
+        def reader(i: int) -> None:
+            try:
+                barrier.wait(timeout=5)
+                cur = provider.cursor()
+                chunks = [cur.read(1000) for _ in range(9)]
+                results[i] = np.concatenate(chunks)
+            except BaseException as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        assert len(decodes) == 1, f"blob decoded {len(decodes)} times"
+        for out in results:
+            np.testing.assert_array_equal(out, w)
+
+    def test_concurrent_cursors_are_independent(self):
+        import threading
+
+        blob = get_codec("rle").encode(_weights(23, 4096))
+        provider = BlobProvider(blob)
+        expected = provider.materialize().copy()
+
+        mismatches = []
+
+        def reader() -> None:
+            cur = provider.cursor()
+            got = np.concatenate([cur.read(123) for _ in range((4096 // 123) + 1)])
+            if not np.array_equal(got, expected):
+                mismatches.append(got)
+
+        threads = [threading.Thread(target=reader) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not mismatches

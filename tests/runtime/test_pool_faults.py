@@ -7,6 +7,8 @@ no flaky timing games and no sleep longer than ~1 second.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.errors import FaultError
@@ -20,6 +22,11 @@ def _square(x: int) -> int:
 
 def _grid(n: int) -> list[GridTask]:
     return [GridTask(fn=_square, args=(i,)) for i in range(n)]
+
+
+def _sleep_return(seconds: float, value):
+    time.sleep(seconds)
+    return value
 
 
 class TestRunPolicyValidation:
@@ -155,6 +162,37 @@ class TestTimeout:
         assert results == ["slow", 0, 1, 4, 9, 16]
         # every grid point ran exactly once somewhere
         assert timings.counters["tasks_run"] == 6
+
+    def test_deadline_runs_from_submission_not_collection_order(self, tmp_path):
+        """Regression: the per-task timeout used to be measured from the
+        sequential ``result()`` call, so a hung task *last* in the
+        futures list got ``timeout + sum(predecessor runtimes)`` before
+        being declared.  The deadline now runs from pool submission:
+        slow-but-finishing predecessors consume the shared wall-clock
+        budget, and the hang is detected within ~``timeout`` total."""
+        sentinel = str(tmp_path / "hang")
+        timings = Timings()
+        tasks = [
+            GridTask(fn=_sleep_return, args=(0.3, "a")),
+            GridTask(fn=_sleep_return, args=(0.6, "b")),
+            GridTask(fn=_sleep_return, args=(0.9, "c")),
+            GridTask(fn=hang_once, args=(sentinel, 2.5, "hung")),
+        ]
+        t0 = time.perf_counter()
+        results = run_tasks(
+            tasks, jobs=4, timings=timings, policy=RunPolicy(timeout=1.0)
+        )
+        elapsed = time.perf_counter() - t0
+        # the serial re-dispatch sees the sentinel and returns instantly,
+        # so end-to-end time is ~timeout; the old collection-order
+        # accounting needed ~1.9s (0.9s of predecessors + a fresh 1.0s
+        # budget for the hung future)
+        assert results == ["a", "b", "c", "hung"]
+        assert timings.counters["task_timeouts"] == 1
+        assert elapsed < 1.6, (
+            f"hang declared after {elapsed:.2f}s — the per-task deadline "
+            "is not being measured from submission"
+        )
 
     def test_serial_run_ignores_timeout(self, tmp_path):
         # in-process execution has no watchdog; the task just runs

@@ -1,0 +1,141 @@
+"""DecodedWeightCache: LRU byte-budget semantics and thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.serve.cache import DecodedWeightCache
+
+
+def arr(n: int, fill: float) -> np.ndarray:
+    return np.full(n, fill, dtype=np.float32)
+
+
+class TestBasics:
+    def test_miss_decodes_then_hit_serves_cached(self):
+        cache = DecodedWeightCache()
+        calls = []
+
+        def decode():
+            calls.append(1)
+            return arr(10, 3.0)
+
+        p1 = cache.provider("k", decode)
+        p2 = cache.provider("k", decode)
+        assert len(calls) == 1
+        assert np.array_equal(p1.materialize(), arr(10, 3.0))
+        assert np.array_equal(p2.materialize(), arr(10, 3.0))
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_provider_is_zero_copy_view(self):
+        cache = DecodedWeightCache()
+        cache.provider("k", lambda: arr(8, 1.0))
+        p = cache.provider("k", lambda: arr(8, 9.0))  # hit: decode unused
+        view = p.materialize()
+        assert np.array_equal(view, arr(8, 1.0))
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DecodedWeightCache(max_bytes=0)
+
+    def test_contains_and_len(self):
+        cache = DecodedWeightCache()
+        assert "k" not in cache and len(cache) == 0
+        cache.provider("k", lambda: arr(4, 0.0))
+        assert "k" in cache and len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.bytes == 0
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_first(self):
+        # 3 x 40B entries under a 100B budget: inserting the third
+        # evicts the least recently used
+        cache = DecodedWeightCache(max_bytes=100)
+        cache.provider("a", lambda: arr(10, 1.0))
+        cache.provider("b", lambda: arr(10, 2.0))
+        cache.provider("a", lambda: arr(10, 1.0))  # touch a: b becomes LRU
+        cache.provider("c", lambda: arr(10, 3.0))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+        assert cache.bytes == 80
+
+    def test_over_budget_singleton_is_admitted(self):
+        cache = DecodedWeightCache(max_bytes=16)
+        p = cache.provider("big", lambda: arr(100, 5.0))
+        assert "big" in cache  # never evicts itself on admission
+        assert np.array_equal(p.materialize(), arr(100, 5.0))
+        # the next entry evicts the oversized one
+        cache.provider("small", lambda: arr(2, 1.0))
+        assert "big" not in cache and "small" in cache
+
+    def test_evicted_entry_redecodes_on_next_request(self):
+        cache = DecodedWeightCache(max_bytes=50)
+        calls = []
+
+        def decode_a():
+            calls.append(1)
+            return arr(10, 1.0)
+
+        cache.provider("a", decode_a)
+        cache.provider("b", lambda: arr(10, 2.0))  # evicts a
+        assert "a" not in cache
+        p = cache.provider("a", decode_a)
+        assert len(calls) == 2
+        assert np.array_equal(p.materialize(), arr(10, 1.0))
+
+    def test_eviction_keeps_serving_in_flight_views(self):
+        cache = DecodedWeightCache(max_bytes=50)
+        p_a = cache.provider("a", lambda: arr(10, 1.0))
+        cache.provider("b", lambda: arr(10, 2.0))  # evicts a
+        # the evicted array stays alive through the provider's reference
+        assert np.array_equal(p_a.materialize(), arr(10, 1.0))
+
+
+class TestConcurrency:
+    def test_racing_misses_converge_to_one_entry(self):
+        cache = DecodedWeightCache()
+        n = 8
+        barrier = threading.Barrier(n)
+        decodes = []
+        lock = threading.Lock()
+        results = [None] * n
+
+        def decode():
+            with lock:
+                decodes.append(1)
+            return arr(16, 7.0)
+
+        def worker(i):
+            barrier.wait()
+            results[i] = cache.provider("k", decode).materialize()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # every thread read the correct values, whatever the race outcome
+        for r in results:
+            assert np.array_equal(r, arr(16, 7.0))
+        assert len(cache) == 1
+        assert cache.bytes == 64  # one entry's bytes, however many decodes ran
+        assert 1 <= len(decodes) <= n
+
+
+class TestObs:
+    def test_counts_flow_to_ambient_scope(self):
+        cache = DecodedWeightCache(max_bytes=50)
+        with obs.use(obs.Obs()) as o:
+            cache.provider("a", lambda: arr(10, 1.0))
+            cache.provider("a", lambda: arr(10, 1.0))
+            cache.provider("b", lambda: arr(10, 2.0))  # evicts a
+        assert o.metrics.value("serve.cache.misses") == 2
+        assert o.metrics.value("serve.cache.hits") == 1
+        assert o.metrics.value("serve.cache.evictions") == 1
+        assert o.metrics.value("serve.cache.bytes") == 40

@@ -1,0 +1,123 @@
+"""ServedModel: archive wiring, cache keys, and bit-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model_store import compress_model
+from repro.nn.layers import Dense, ReLU, Softmax
+from repro.nn.sequential import Sequential
+from repro.serve.cache import DecodedWeightCache
+from repro.serve.model import ServedModel, decoded_weight_key
+
+
+def mlp(seed: int = 7):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            ("dense_1", Dense(12, 16, rng=rng)),
+            ("relu_1", ReLU()),
+            ("dense_2", Dense(16, 5, rng=rng)),
+            ("softmax", Softmax()),
+        ],
+        name="served-mlp",
+    )
+
+
+def served(cache=None, assignments=None, codec="linefit"):
+    archive = compress_model(
+        mlp(), assignments if assignments is not None else {"dense_1": 5.0},
+        codec=codec,
+    )
+    return ServedModel(mlp(), archive, cache=cache, input_shape=(12,))
+
+
+def inputs(n, shape=(12,), seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(shape).astype(np.float32) for _ in range(n)]
+
+
+class TestWiring:
+    def test_matches_archive_apply(self):
+        """Serving == the established archive restore path."""
+        archive = compress_model(mlp(), {"dense_1": 5.0})
+        sm = ServedModel(mlp(), archive, input_shape=(12,))
+        reference = mlp()
+        archive.apply(reference)
+        for x in inputs(4):
+            assert np.array_equal(sm.forward(x), reference.forward(x[None])[0])
+
+    def test_compressed_layers_resolve_through_cache(self):
+        cache = DecodedWeightCache()
+        sm = served(cache)
+        assert sm.compressed_layers == ["dense_1"]
+        sm.forward(inputs(1)[0])
+        assert cache.misses == 1
+        sm.forward(inputs(1)[0])
+        assert cache.hits == 1
+
+    def test_unknown_archive_layer_rejected(self):
+        archive = compress_model(mlp(), {"dense_1": 5.0})
+        small = Sequential(
+            [("other", Dense(12, 5)), ("softmax", Softmax())], name="wrong"
+        )
+        with pytest.raises(ValueError, match="unknown to model"):
+            ServedModel(small, archive)
+
+    def test_lossless_codec_roundtrip_exact(self):
+        # huffman stores the exact weights: serving equals the original
+        original = mlp()
+        archive = compress_model(original, {"dense_1": 0.0}, codec="huffman")
+        sm = ServedModel(mlp(), archive, input_shape=(12,))
+        for x in inputs(3):
+            assert np.array_equal(sm.forward(x), original.forward(x[None])[0])
+
+
+class TestBitIdentity:
+    def test_batched_equals_serial_bitwise(self):
+        sm = served()
+        xs = inputs(16)
+        batched = sm.forward_batch(xs)
+        serial = [sm.forward(x) for x in xs]
+        for b, s in zip(batched, serial):
+            assert b.dtype == s.dtype and b.shape == s.shape
+            assert np.array_equal(b, s), "batched forward must be bit-identical"
+
+    def test_identity_survives_eviction(self):
+        # a cache too small for the layer: every batch re-decodes, the
+        # outputs must not care
+        sm_tight = served(cache=DecodedWeightCache(max_bytes=8))
+        sm_roomy = served(cache=DecodedWeightCache())
+        xs = inputs(6)
+        for a, b in zip(sm_tight.forward_batch(xs), sm_roomy.forward_batch(xs)):
+            assert np.array_equal(a, b)
+
+
+class TestKeys:
+    def test_key_is_content_addressed(self):
+        spec = {"name": "linefit", "params": {"delta_pct": 5.0}}
+        k1 = decoded_weight_key(b"payload", spec, (4, 5))
+        assert k1 == decoded_weight_key(b"payload", spec, (4, 5))
+        assert k1 != decoded_weight_key(b"other", spec, (4, 5))
+        assert k1 != decoded_weight_key(b"payload", spec, (5, 4))
+        assert k1 != decoded_weight_key(
+            b"payload", {"name": "linefit", "params": {"delta_pct": 10.0}}, (4, 5)
+        )
+
+    def test_legacy_spec_none_has_distinct_namespace(self):
+        spec = {"name": "linefit", "params": {}}
+        assert decoded_weight_key(b"p", None, (2,)) != decoded_weight_key(
+            b"p", spec, (2,)
+        )
+
+    def test_identical_blobs_share_one_entry(self):
+        # two served models built from the same deterministic weights
+        # produce identical payloads -> one cache entry serves both
+        cache = DecodedWeightCache()
+        sm1 = served(cache)
+        sm2 = served(cache)
+        sm1.forward(inputs(1)[0])
+        sm2.forward(inputs(1)[0])
+        assert len(cache) == 1
+        assert cache.misses == 1 and cache.hits == 1

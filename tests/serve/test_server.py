@@ -1,0 +1,123 @@
+"""JSON-lines TCP transport: roundtrips, typed wire errors, pipelining."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.pool import RunPolicy
+from repro.serve.demo import BENCH_INPUT_SHAPE, bench_model, demo_inputs
+from repro.serve.replies import DeadlineExceeded, Failed, Ok, Overloaded
+from repro.serve.server import reply_to_doc, request_many, serve_tcp
+from repro.serve.service import InferenceService, ServeConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(config, body):
+    """Start service + TCP server, run ``body(port)``, tear down."""
+    svc = InferenceService(bench_model(), config)
+    async with svc:
+        server = await serve_tcp(svc)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await body(port)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+
+class TestRoundtrip:
+    def test_pipelined_requests_all_answered_in_order(self):
+        xs = demo_inputs(12, BENCH_INPUT_SHAPE)
+
+        async def body(port):
+            return await request_many("127.0.0.1", port, xs)
+
+        docs = run(with_server(ServeConfig(policy=RunPolicy(timeout=None)), body))
+        assert [d["id"] for d in docs] == list(range(12))
+        assert all(d["status"] == "ok" for d in docs)
+        assert all(len(d["output"]) == 10 for d in docs)
+        assert all(d["batch_size"] >= 1 for d in docs)
+
+    def test_wire_output_matches_in_process_forward(self):
+        sm = bench_model()
+        xs = demo_inputs(3, BENCH_INPUT_SHAPE)
+
+        async def body(port):
+            return await request_many("127.0.0.1", port, xs)
+
+        docs = run(with_server(ServeConfig(policy=RunPolicy(timeout=None)), body))
+        for d, x in zip(docs, xs):
+            wire = np.asarray(d["output"], dtype=np.float32)
+            assert np.allclose(wire, sm.forward(x), atol=0, rtol=1e-6)
+
+
+class TestWireErrors:
+    def test_malformed_json_gets_failed_reply(self):
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            return json.loads(line)
+
+        doc = run(with_server(ServeConfig(), body))
+        assert doc["status"] == "failed"
+
+    def test_missing_input_field_gets_failed_reply(self):
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(json.dumps({"id": 1}).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            return json.loads(line)
+
+        doc = run(with_server(ServeConfig(), body))
+        assert doc["status"] == "failed" and doc["id"] == 1
+
+    def test_deadline_propagates_over_wire(self):
+        async def body(port):
+            return await request_many(
+                "127.0.0.1",
+                port,
+                demo_inputs(1, BENCH_INPUT_SHAPE),
+                deadline=1e-9,
+            )
+
+        # a nanosecond deadline expires in the queue: typed reply on the
+        # wire, not a slow ok and not a dropped connection
+        docs = run(with_server(ServeConfig(), body))
+        assert docs[0]["status"] == "deadline_exceeded"
+        assert docs[0]["executed"] is False
+
+
+class TestReplyDocs:
+    def test_every_reply_type_serializes(self):
+        docs = [
+            reply_to_doc(Ok(np.ones(2, np.float32), latency_s=0.1, batch_size=2)),
+            reply_to_doc(Overloaded(queue_depth=9)),
+            reply_to_doc(DeadlineExceeded(deadline_s=1.0, waited_s=1.5, executed=True)),
+            reply_to_doc(Failed(error="nope")),
+        ]
+        assert [d["status"] for d in docs] == [
+            "ok",
+            "overloaded",
+            "deadline_exceeded",
+            "failed",
+        ]
+        for d in docs:
+            json.dumps(d)  # wire-serializable
+
+    def test_unknown_reply_type_rejected(self):
+        with pytest.raises(TypeError):
+            reply_to_doc("not a reply")
