@@ -69,9 +69,16 @@ async def _handle_connection(
     lock = asyncio.Lock()  # one reply line at a time per connection
     tasks: set[asyncio.Task] = set()
 
-    async def handle_line(doc: dict) -> None:
-        rid = doc.get("id")
+    async def handle_line(doc: object) -> None:
+        # valid JSON need not be an object ('[1,2]', '5'): default the id
+        # echo to null and let the except below produce the failed reply,
+        # so pipelined clients still get their one-reply-per-line
+        rid = doc.get("id") if isinstance(doc, dict) else None
         try:
+            if not isinstance(doc, dict):
+                raise TypeError(
+                    f"request must be a JSON object, got {type(doc).__name__}"
+                )
             x = np.asarray(doc["input"], dtype=np.float32)
             reply = await service.submit(x, deadline=doc.get("deadline"))
             out = reply_to_doc(reply)

@@ -200,11 +200,19 @@ class InferenceService:
 
         ``deadline`` (seconds from now) overrides the configured
         ``policy.timeout``; pass ``float('inf')`` for no deadline on a
-        service whose policy has one.
+        service whose policy has one.  Submitting while the service is
+        not running (before :meth:`start`, during or after
+        :meth:`stop`) fails fast with :class:`Failed`.
         """
         o = obs.current()
         self.requests += 1
         o.count("serve.requests")
+        if self._batcher is None or self._stopping:
+            # no batcher to ever drain the queue: enqueueing would hang
+            # the caller forever, so fail fast instead
+            self.failed += 1
+            o.count("serve.failed")
+            return Failed(error="service is not running")
         x = np.asarray(x, dtype=np.float32)
         expect = getattr(self.model, "input_shape", None)
         if expect is not None and tuple(x.shape) != tuple(expect):
@@ -251,8 +259,16 @@ class InferenceService:
         cfg = self.config
         while True:
             first = await self._queue.get()
-            if cfg.batch_window > 0:
-                await asyncio.sleep(cfg.batch_window)
+            try:
+                if cfg.batch_window > 0:
+                    await asyncio.sleep(cfg.batch_window)
+            except asyncio.CancelledError:
+                # stop() cancelled us with `first` already popped off the
+                # queue — stop()'s drain loop can't see it, so settle it
+                # (and anything queued behind it) here or the client
+                # awaiting submit() hangs forever.
+                await self._run_batch([first, *self._drain(cfg.max_batch - 1)])
+                raise
             batch = [first, *self._drain(cfg.max_batch - 1)]
             await self._run_batch(batch)
 
@@ -283,6 +299,7 @@ class InferenceService:
         o.observe("serve.batch_size", len(live))
         loop = asyncio.get_running_loop()
         xs = [p.x for p in live]
+        cancelled = False
         try:
             with o.span("serve.batch", cat="serve", size=len(live)):
                 # copy_context: the forward thread sees the ambient obs
@@ -290,11 +307,29 @@ class InferenceService:
                 # so decoded-weight cache hits/misses land in the same
                 # registry as the service counters
                 ctx = contextvars.copy_context()
-                outputs = await loop.run_in_executor(
+                fut = loop.run_in_executor(
                     self._executor, ctx.run, self.model.forward_batch, xs
+                )
+                try:
+                    outputs = await asyncio.shield(fut)
+                except asyncio.CancelledError:
+                    # stop() cancelled the batcher mid-forward; the
+                    # executor thread keeps computing — wait it out so
+                    # in-flight requests settle with their real results,
+                    # then propagate the cancellation after the loop below.
+                    cancelled = True
+                    outputs = await fut
+            if len(outputs) != len(live):
+                # buggy duck-typed model: fail the whole batch rather
+                # than zip-truncate and leave tail futures unresolved
+                raise RuntimeError(
+                    f"forward_batch returned {len(outputs)} outputs "
+                    f"for a batch of {len(live)}"
                 )
             errors: list[BaseException | None] = [None] * len(live)
         except BaseException as e:  # containment: settle, don't crash loop
+            if isinstance(e, asyncio.CancelledError):
+                cancelled = True
             outputs = [None] * len(live)
             errors = [e] * len(live)
         done = time.perf_counter()
@@ -326,6 +361,8 @@ class InferenceService:
                 p.future.set_result(
                     Ok(output=out, latency_s=latency, batch_size=len(live))
                 )
+        if cancelled:
+            raise asyncio.CancelledError
 
     # -- introspection -----------------------------------------------------
     def counters(self) -> dict[str, int]:

@@ -72,8 +72,14 @@ class TestQuantizeTensor:
     @settings(max_examples=100, deadline=None)
     def test_roundtrip_error_within_one_step(self, w):
         # weights are float32 in this system; the float32 dequant path is
-        # only exact for float32-representable (non-subnormal) scales
-        assume(float(w.max() - w.min()) == 0.0 or float(w.max() - w.min()) > 1e-30)
+        # only exact for float32-representable (non-subnormal) scales.
+        # The guard must use the quantizer's *effective* range — it clamps
+        # lo/hi to include 0, so a constant all-positive tensor like
+        # [1e-45, 1e-45] still quantizes over [0, 1e-45] with a subnormal
+        # scale even though max - min == 0.
+        lo = min(float(w.min()), 0.0)
+        hi = max(float(w.max()), 0.0)
+        assume(hi - lo == 0.0 or hi - lo > 1e-30)
         qt = quantize_tensor(w)
         assert np.abs(qt.dequantize() - w).max() <= qt.scale * (1.0 + 1e-3)
 

@@ -85,6 +85,28 @@ class TestWireErrors:
         doc = run(with_server(ServeConfig(), body))
         assert doc["status"] == "failed" and doc["id"] == 1
 
+    def test_non_object_json_line_gets_failed_reply(self):
+        """Valid JSON that is not an object ('[1,2]', '5') used to crash
+        the handler task before any reply was written, hanging pipelined
+        clients."""
+
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"[1, 2]\n5\n")
+            await writer.drain()
+            lines = [
+                await asyncio.wait_for(reader.readline(), timeout=5.0)
+                for _ in range(2)
+            ]
+            writer.close()
+            await writer.wait_closed()
+            return [json.loads(line) for line in lines]
+
+        docs = run(with_server(ServeConfig(), body))
+        for doc in docs:
+            assert doc["status"] == "failed"
+            assert doc["id"] is None
+
     def test_deadline_propagates_over_wire(self):
         async def body(port):
             return await request_many(

@@ -403,6 +403,107 @@ class TestBatching:
         assert all(isinstance(r, Ok) for r in replies)
 
 
+class TestStopRaces:
+    """Regressions: stop()/cancellation must never strand a future."""
+
+    def test_stop_during_batch_window_settles_popped_request(self):
+        """The request the batcher popped before its window sleep was
+        invisible to stop()'s queue drain and hung its client forever."""
+        model = RecordingModel()
+
+        async def go():
+            svc = InferenceService(
+                model,
+                ServeConfig(batch_window=0.5, policy=RunPolicy(timeout=None)),
+            )
+            svc.start()
+            t = asyncio.ensure_future(svc.submit(mark(1.0)))
+            await asyncio.sleep(0.05)  # batcher popped it, sleeps in window
+            await svc.stop()
+            return await asyncio.wait_for(t, timeout=5.0)
+
+        reply = run(go())
+        assert isinstance(reply, Ok)
+        assert model.seen == [1.0]
+
+    def test_stop_mid_forward_delivers_computed_result(self):
+        """Cancellation during the executor forward used to settle the
+        batch with Failed(CancelledError) instead of its real outputs."""
+        model = RecordingModel(delay=0.15)
+
+        async def go():
+            svc = InferenceService(
+                model, ServeConfig(policy=RunPolicy(timeout=None))
+            )
+            svc.start()
+            t = asyncio.ensure_future(svc.submit(mark(3.0)))
+            await asyncio.sleep(0.05)  # forward in flight on the executor
+            await svc.stop()
+            return await asyncio.wait_for(t, timeout=5.0)
+
+        reply = run(go())
+        assert isinstance(reply, Ok)
+        assert np.array_equal(reply.output, mark(3.0) * 2.0)
+
+    def test_submit_after_stop_fails_fast_instead_of_hanging(self):
+        model = RecordingModel()
+
+        async def go():
+            svc = InferenceService(
+                model, ServeConfig(policy=RunPolicy(timeout=None))
+            )
+            svc.start()
+            await svc.stop()
+            return await asyncio.wait_for(svc.submit(mark(1.0)), timeout=5.0)
+
+        reply = run(go())
+        assert isinstance(reply, Failed)
+        assert "not running" in reply.error
+        assert model.seen == []
+
+    def test_submit_before_start_fails_fast(self):
+        async def go():
+            svc = InferenceService(
+                RecordingModel(), ServeConfig(policy=RunPolicy(timeout=None))
+            )
+            return await asyncio.wait_for(svc.submit(mark(1.0)), timeout=5.0)
+
+        assert isinstance(run(go()), Failed)
+
+
+class TestModelContract:
+    def test_short_forward_output_fails_whole_batch_not_hang(self):
+        """A model returning fewer outputs than inputs used to
+        zip-truncate, stranding the tail futures forever."""
+        gate = threading.Event()
+
+        class Truncating:
+            input_shape = None
+
+            def forward_batch(self, xs):
+                assert gate.wait(timeout=10.0), "test gate never opened"
+                return [x * 2.0 for x in xs][:-1]
+
+        async def go():
+            svc = InferenceService(
+                Truncating(), ServeConfig(policy=RunPolicy(timeout=None))
+            )
+            async with svc:
+                tasks = [
+                    asyncio.ensure_future(svc.submit(mark(float(i))))
+                    for i in range(3)
+                ]
+                await asyncio.sleep(0.02)
+                gate.set()
+                return await asyncio.wait_for(
+                    asyncio.gather(*tasks), timeout=5.0
+                )
+
+        replies = run(go())
+        assert all(isinstance(r, Failed) for r in replies)
+        assert all("forward_batch returned" in r.error for r in replies)
+
+
 class TestConfig:
     @pytest.mark.parametrize(
         "kwargs",
