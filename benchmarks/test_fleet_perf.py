@@ -1,0 +1,200 @@
+"""Fleet chaos benchmark: availability and recovery under fault load.
+
+``BENCH_fleet.json`` is the committed baseline.  One campaign, run
+end to end against real worker processes:
+
+* **steady state** — 3 replicas, closed-loop load, no faults: every
+  request Ok, throughput guarded through the calibration-spin machine
+  scale (the fleet adds IPC + routing on top of the in-process service,
+  so this has its own baseline, not ``BENCH_serve.json``'s).
+* **chaos campaign** — the same fleet under load while the campaign
+  SIGKILLs one replica and bit-flips the archive file before killing a
+  second (which restarts onto the damaged bytes and serves degraded).
+  The guarded properties are the robustness acceptance criteria: zero
+  silent drops, availability >= the floor, both replicas restarted,
+  degraded replies carry damage reports, recovery bounded.
+
+The absolute-throughput guard is deliberately loose (MAX_SLOWDOWN 2x):
+the interesting regressions here are availability cliffs and recovery
+stalls, which are machine-independent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience.chaos import ChaosEvent, run_campaign
+from repro.runtime.pool import RunPolicy
+from repro.serve.demo import (
+    BENCH_INPUT_SHAPE,
+    bench_archive_model,
+    demo_inputs,
+    save_bench_archive,
+)
+from repro.serve.fleet import FleetConfig, ReplicaFleet, ReplicaSpec
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_fleet.json"
+BASELINE = json.loads(BASELINE_PATH.read_text())
+
+MAX_SLOWDOWN = 2.0
+DEADLINE_S = 1.0
+REPLICAS = 3
+CONCURRENCY = 8
+
+
+def _spin(n: int = 2_000_000) -> int:
+    acc = 0
+    for i in range(n):
+        acc += i * i
+    return acc
+
+
+@pytest.fixture(scope="module")
+def machine_scale() -> float:
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _spin()
+        best = min(best, time.perf_counter() - t0)
+    return best / BASELINE["calibration_seconds"]
+
+
+def _fleet(tmp_path):
+    path = save_bench_archive(tmp_path / "bench-fleet.npz")
+    spec = ReplicaSpec(
+        factory=bench_archive_model,
+        factory_kwargs={"path": str(path), "on_fault": "zero"},
+    )
+    config = FleetConfig(
+        replicas=REPLICAS,
+        probe_interval_s=0.1,
+        policy=RunPolicy(timeout=DEADLINE_S),
+        restart_policy=RunPolicy(
+            backoff=0.05, max_backoff=0.5, jitter=True, jitter_seed=0
+        ),
+    )
+    return ReplicaFleet(spec, config), path
+
+
+def test_fleet_steady_state_throughput(
+    benchmark, machine_scale, fast_mode, save_artifact
+):
+    """3 healthy replicas: all Ok, throughput above the scaled floor."""
+    entry = BASELINE["benchmarks"]["fleet_steady"]
+    duration = 2.0 if fast_mode else 5.0
+
+    def measure():
+        async def go():
+            import tempfile
+
+            with tempfile.TemporaryDirectory() as td:
+                fleet, _ = _fleet(Path(td))
+                async with fleet:
+                    return await run_campaign(
+                        fleet,
+                        demo_inputs(32, BENCH_INPUT_SHAPE),
+                        duration_s=duration,
+                        concurrency=CONCURRENCY,
+                        deadline=DEADLINE_S,
+                    )
+
+        return asyncio.run(go())
+
+    res = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rps = res.total / res.elapsed_s
+    save_artifact(
+        "fleet_steady_state",
+        "\n".join(
+            [
+                f"fleet: steady state ({REPLICAS} replicas, "
+                f"concurrency {CONCURRENCY}, {duration:.0f}s)",
+                f"  requests      {res.total}  ({rps:,.0f} rps)",
+                f"  ok            {res.ok}",
+                f"  availability  {res.availability:.4f}",
+                f"  untyped       {res.untyped}",
+            ]
+        ),
+    )
+    assert res.untyped == 0
+    assert res.availability >= entry["min_availability"]
+    required = entry["fleet_rps"] / (machine_scale * MAX_SLOWDOWN)
+    assert rps >= required, (
+        f"fleet throughput {rps:,.0f} rps below the {required:,.0f} rps floor "
+        f"(committed {entry['fleet_rps']} rps / machine scale "
+        f"{machine_scale:.2f} / slowdown guard {MAX_SLOWDOWN}) — the "
+        "routing/IPC path has regressed; if intentional, re-record "
+        "benchmarks/BENCH_fleet.json"
+    )
+
+
+def test_fleet_chaos_campaign(benchmark, machine_scale, fast_mode, save_artifact):
+    """Kill + corrupt under load: the acceptance criteria, measured."""
+    entry = BASELINE["benchmarks"]["fleet_chaos"]
+    duration = 6.0 if fast_mode else 10.0
+
+    def measure():
+        async def go():
+            import tempfile
+
+            with tempfile.TemporaryDirectory() as td:
+                fleet, path = _fleet(Path(td))
+                events = (
+                    ChaosEvent(at=duration * 0.2, kind="kill", target=0),
+                    ChaosEvent(at=duration * 0.45, kind="corrupt", target=1),
+                )
+                async with fleet:
+                    return await run_campaign(
+                        fleet,
+                        demo_inputs(32, BENCH_INPUT_SHAPE),
+                        duration_s=duration,
+                        concurrency=CONCURRENCY,
+                        events=events,
+                        archive_path=path,
+                        deadline=DEADLINE_S,
+                    )
+
+        return asyncio.run(go())
+
+    res = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rps = res.total / res.elapsed_s
+    save_artifact(
+        "fleet_chaos_campaign",
+        "\n".join(
+            [
+                f"fleet: chaos campaign ({REPLICAS} replicas, kill + "
+                f"corrupt-archive kill, {duration:.0f}s under load)",
+                f"  requests      {res.total}  ({rps:,.0f} rps)",
+                f"  ok            {res.ok}  (degraded {res.degraded_ok})",
+                f"  availability  {res.availability:.4f} "
+                f"(floor {entry['min_availability']})",
+                f"  untyped       {res.untyped}",
+                f"  by_status     {res.by_status}",
+                f"  restarts      {res.restarts}",
+                f"  recovery      {res.recovery_s:.2f}s "
+                f"(bound {entry['max_recovery_s']}s)"
+                if res.recovery_s is not None
+                else "  recovery      DID NOT RECOVER",
+                f"  corrupted     {sorted(res.corrupted_digests)}",
+            ]
+        ),
+    )
+    # -- the acceptance criteria ------------------------------------------
+    # 1. zero silent drops: every request got exactly one typed reply
+    assert res.untyped == 0, f"untyped outcomes: {res.by_status}"
+    # 2. availability floor under kill + corruption
+    assert res.availability >= entry["min_availability"], res.by_status
+    # 3. both faulted replicas restarted within the campaign
+    assert res.restarts >= 2
+    # 4. the replica on the damaged archive served, and said so
+    assert res.degraded_ok >= 1, "no degraded Ok replies with damage reports"
+    # 5. recovery completed within the bound (machine-scaled)
+    bound = entry["max_recovery_s"] * max(machine_scale, 1.0)
+    assert res.recovery_s is not None, "fleet never became whole again"
+    assert res.recovery_s <= bound, (
+        f"recovery took {res.recovery_s:.2f}s, bound {bound:.2f}s"
+    )

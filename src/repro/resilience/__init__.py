@@ -16,7 +16,10 @@ measurable and defensible:
   (:mod:`repro.core.codec`);
 * :mod:`~repro.resilience.degrade` — graceful-degradation decode:
   salvage the undamaged frames of a corrupted line-fit payload and
-  zero-fill the rest, instead of losing the whole layer.
+  zero-fill the rest, instead of losing the whole layer;
+* :mod:`~repro.resilience.chaos` — chaos campaigns against a serving
+  fleet: kill/hang replicas and bit-flip archive files under live load,
+  measuring availability, typed-reply coverage, and recovery time.
 
 The measurement side is ``python -m repro.experiments
 fig_fault_campaign`` (bit-error rate x delta, compressed vs raw
@@ -25,6 +28,14 @@ storage).  Error types live in :mod:`repro.core.errors`
 """
 
 from ..core.errors import CodecError, FaultError, IntegrityError
+from .chaos import (
+    ChaosEvent,
+    ChaosResult,
+    corrupt_archive,
+    hang_replica,
+    kill_replica,
+    run_campaign,
+)
 from .degrade import DamageReport, decode_degraded
 from .inject import (
     BitFlipInjector,
@@ -55,4 +66,10 @@ __all__ = [
     "with_checksum",
     "DamageReport",
     "decode_degraded",
+    "ChaosEvent",
+    "ChaosResult",
+    "kill_replica",
+    "hang_replica",
+    "corrupt_archive",
+    "run_campaign",
 ]

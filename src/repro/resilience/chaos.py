@@ -1,0 +1,241 @@
+"""Chaos campaigns against a replica fleet: kill, hang, corrupt — measure.
+
+The fleet's claims (availability under replica loss, bounded recovery,
+degraded-mode serving from damaged archives) are worthless untested, so
+this module makes them *measured properties*: a seeded load generator
+drives a :class:`~repro.serve.fleet.ReplicaFleet` while a scheduler
+fires chaos events —
+
+* ``kill`` — SIGKILL a worker process (crash);
+* ``hang`` — SIGSTOP a worker (alive to the kernel, dead to probes: the
+  hang-detection path);
+* ``corrupt`` — seeded :class:`~repro.resilience.inject.BitFlipInjector`
+  flips over the archive file's compressed payloads, then a kill, so
+  the restarted replica reloads the damaged bytes and (under an
+  ``on_fault`` policy) serves degraded with a
+  :class:`~repro.resilience.degrade.DamageReport` in its replies —
+
+and the result tallies what the acceptance criteria need: every request
+resolved to exactly one typed reply (``untyped == 0``), availability
+(``ok/total``) against a floor, restart count, time from the last event
+until the fleet is whole again, and how many ``Ok`` replies carried
+degraded metadata.  Same seed + same schedule -> same corrupted-payload
+digests, the campaign discipline shared with ``fig_fault_campaign``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.model_store import load_archive
+from ..serve.replies import Ok
+from .inject import BitFlipInjector, digest
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosResult",
+    "kill_replica",
+    "hang_replica",
+    "corrupt_archive",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: ``kind`` at ``at`` seconds into the campaign.
+
+    ``target`` is a replica index (``kill``/``hang``) — for
+    ``corrupt`` the archive file is damaged first and ``target`` (when
+    given) is then killed so its restart loads the corrupted bytes.
+    """
+
+    at: float
+    kind: str  # "kill" | "hang" | "corrupt"
+    target: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "hang", "corrupt"):
+            raise ValueError(f"unknown chaos kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"event time must be >= 0, got {self.at}")
+
+
+@dataclass
+class ChaosResult:
+    """What the campaign measured."""
+
+    total: int = 0
+    ok: int = 0
+    degraded_ok: int = 0
+    untyped: int = 0  # submits that raised instead of returning a Reply
+    by_status: dict = field(default_factory=dict)
+    events_fired: int = 0
+    restarts: int = 0
+    recovery_s: float | None = None  # last event -> fleet whole again
+    elapsed_s: float = 0.0
+    corrupted_digests: dict = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered ``Ok`` (degraded counts: the
+        model answered, and said so)."""
+        return self.ok / self.total if self.total else 0.0
+
+
+# -- fault primitives ---------------------------------------------------------
+
+
+def kill_replica(fleet, index: int) -> bool:
+    """SIGKILL one worker process (crash injection)."""
+    r = fleet.replicas[index]
+    if r.pid is None or r.process is None or not r.process.is_alive():
+        return False
+    os.kill(r.pid, signal.SIGKILL)
+    return True
+
+
+def hang_replica(fleet, index: int) -> bool:
+    """SIGSTOP one worker: alive, accepting TCP, answering nothing."""
+    r = fleet.replicas[index]
+    if r.pid is None or r.process is None or not r.process.is_alive():
+        return False
+    os.kill(r.pid, signal.SIGSTOP)
+    return True
+
+
+def corrupt_archive(
+    path: str | Path, seed: int = 0, ber: float = 1e-3
+) -> dict[str, str]:
+    """Bit-flip every compressed payload of the archive at ``path``.
+
+    The damage lands *inside* the layer payloads (the npz container
+    stays structurally valid), so a replica reloading the file reaches
+    the decode path and exercises the ``on_fault`` degradation policy
+    rather than failing at load.  Returns layer -> corrupted-payload
+    digest, the reproducibility witness.
+    """
+    path = Path(path)
+    archive = load_archive(path)
+    injector = BitFlipInjector(seed=seed, ber=ber)
+    digests: dict[str, str] = {}
+    for name, (payload, shape) in archive.compressed.items():
+        damaged = injector.corrupt_bytes(payload)
+        archive.compressed[name] = (damaged, shape)
+        digests[name] = digest(damaged)
+    archive.to_file(path)
+    return digests
+
+
+# -- the campaign -------------------------------------------------------------
+
+
+async def _fire(event: ChaosEvent, fleet, archive_path, seed, result) -> None:
+    n = len(fleet.replicas)
+    target = event.target if event.target is not None else 0
+    target %= n
+    if event.kind == "kill":
+        kill_replica(fleet, target)
+    elif event.kind == "hang":
+        hang_replica(fleet, target)
+    else:  # corrupt
+        if archive_path is None:
+            raise ValueError("corrupt event needs archive_path")
+        result.corrupted_digests.update(
+            corrupt_archive(archive_path, seed=seed, ber=1e-3)
+        )
+        # restart the target onto the damaged bytes
+        kill_replica(fleet, target)
+    result.events_fired += 1
+
+
+async def run_campaign(
+    fleet,
+    inputs: list[np.ndarray],
+    *,
+    duration_s: float,
+    concurrency: int = 8,
+    events: tuple[ChaosEvent, ...] = (),
+    archive_path: str | Path | None = None,
+    deadline: float | None = None,
+    seed: int = 0,
+    recovery_timeout_s: float = 30.0,
+) -> ChaosResult:
+    """Drive load through a *started* fleet while chaos fires.
+
+    ``concurrency`` closed-loop workers submit from ``inputs`` for
+    ``duration_s`` seconds; ``events`` fire on their schedule.  After
+    the clock runs out the campaign waits (up to ``recovery_timeout_s``)
+    for every replica to be ready again and reports the time from the
+    last event to wholeness as ``recovery_s``.
+    """
+    result = ChaosResult()
+    t0 = time.monotonic()
+    stop = asyncio.Event()
+
+    async def worker(k: int) -> None:
+        i = k
+        while not stop.is_set():
+            x = inputs[i % len(inputs)]
+            i += concurrency
+            try:
+                reply = await fleet.submit(x, deadline=deadline)
+            except Exception as e:  # noqa: BLE001 - the defect being counted
+                result.untyped += 1
+                result.by_status[f"untyped:{type(e).__name__}"] = (
+                    result.by_status.get(f"untyped:{type(e).__name__}", 0) + 1
+                )
+                continue
+            finally:
+                result.total += 1
+            result.by_status[reply.status] = result.by_status.get(reply.status, 0) + 1
+            if isinstance(reply, Ok):
+                result.ok += 1
+                if reply.degraded:
+                    result.degraded_ok += 1
+
+    async def scheduler() -> None:
+        last_fired = t0
+        for ev in sorted(events, key=lambda e: e.at):
+            delay = (t0 + ev.at) - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if stop.is_set():
+                return
+            await _fire(ev, fleet, archive_path, seed, result)
+            last_fired = time.monotonic()
+        result.by_status.setdefault("_last_event_at", 0)
+        result.by_status["_last_event_at"] = last_fired - t0
+
+    sched = asyncio.ensure_future(scheduler())
+    workers = [asyncio.ensure_future(worker(k)) for k in range(concurrency)]
+    await asyncio.sleep(duration_s)
+    stop.set()
+    await asyncio.gather(*workers)
+    sched.cancel()
+    try:
+        await sched
+    except asyncio.CancelledError:
+        pass
+    result.elapsed_s = time.monotonic() - t0
+
+    # recovery: every replica back in service after the dust settles
+    last_event = result.by_status.pop("_last_event_at", None)
+    if events:
+        want = len(fleet.replicas)
+        deadline_at = time.monotonic() + recovery_timeout_s
+        while time.monotonic() < deadline_at:
+            if fleet.ready_count >= want:
+                anchor = t0 + last_event if last_event is not None else t0
+                result.recovery_s = time.monotonic() - anchor
+                break
+            await asyncio.sleep(0.05)
+    result.restarts = fleet.supervisor.restarts
+    return result

@@ -47,6 +47,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable
 
+import numpy as np
+
 from .. import obs
 from ..obs import MetricsRegistry
 from .cache import MISS, ResultCache
@@ -103,6 +105,18 @@ class RunPolicy:
     backoff:
         Base sleep before retry ``k`` (``backoff * 2**k`` seconds);
         keep at 0 in tests.
+    max_backoff:
+        Cap on the exponential term (``None`` = uncapped).  Long-lived
+        retry loops (the replica supervisor) use this so the wait never
+        grows past a bounded recovery window.
+    jitter:
+        With ``True``, each retry sleeps ``uniform(0, capped_backoff)``
+        (full jitter) instead of the deterministic exponential — a fleet
+        of clients retrying the same incident spreads out instead of
+        thundering back in lockstep.  Seed the draw with ``jitter_seed``
+        for reproducible schedules; ``backoff=0`` stays 0 regardless.
+    jitter_seed:
+        Seed of the jitter RNG (``None`` = fresh OS entropy per run).
     salvage:
         With ``True``, a task that exhausts every attempt yields
         ``None`` in the result list (and a ``tasks_failed`` count)
@@ -113,6 +127,9 @@ class RunPolicy:
     timeout: float | None = None
     retries: int = 0
     backoff: float = 0.0
+    max_backoff: float | None = None
+    jitter: bool = False
+    jitter_seed: int | None = None
     salvage: bool = False
 
     def __post_init__(self) -> None:
@@ -122,6 +139,34 @@ class RunPolicy:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.max_backoff is not None and self.max_backoff <= 0:
+            raise ValueError(
+                f"max_backoff must be positive, got {self.max_backoff}"
+            )
+
+    def rng(self) -> np.random.Generator:
+        """A jitter RNG seeded by ``jitter_seed`` (new stream per call)."""
+        return np.random.default_rng(self.jitter_seed)
+
+    def backoff_for(
+        self, attempt: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Sleep before retry ``attempt`` (0-based): capped exponential,
+        optionally full-jittered.
+
+        Pass a shared ``rng`` to draw successive retries from one
+        stream (deterministic under a fixed ``jitter_seed``); without
+        one a fresh stream is seeded per call.
+        """
+        base = self.backoff * (2 ** int(attempt))
+        if self.max_backoff is not None:
+            base = min(base, self.max_backoff)
+        if base <= 0:
+            return 0.0
+        if self.jitter:
+            rng = self.rng() if rng is None else rng
+            return float(base * rng.uniform())
+        return float(base)
 
 
 class Timings:
@@ -241,11 +286,13 @@ def _serial_attempts(
     """
     attempts = policy.retries if prior_exc is not None else 1 + policy.retries
     exc = prior_exc
+    rng = policy.rng() if policy.jitter else None
     for k in range(attempts):
         if exc is not None:
             timings.add("task_retries")
-            if policy.backoff:
-                time.sleep(policy.backoff * (2**k))
+            delay = policy.backoff_for(k, rng)
+            if delay:
+                time.sleep(delay)
         attempt_start = time.perf_counter()
         try:
             return _timed_call(task.fn, task.args)

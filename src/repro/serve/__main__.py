@@ -7,10 +7,17 @@ submit path, and print a latency/throughput/batching summary.  With
 interrupted; with ``--client HOST:PORT`` it plays the demo client
 against a running server.
 
+``--replicas N`` runs the supervised fleet demo instead: N worker
+processes serving the tiny bench archive behind the retry/hedge router,
+driven by the same concurrent load.  ``--chaos kill`` SIGKILLs one
+replica mid-load (``--chaos corrupt`` additionally bit-flips the
+archive file first) and the summary reports availability, restarts and
+recovery — the CI chaos smoke runs exactly this.
+
 ``REPRO_OBS=<dir>`` (or ``--obs <dir>``) dumps the service's metrics
 and trace (``metrics.json`` / ``metrics.csv`` / ``trace.json``) after
 the run — QPS, latency and batch-size histograms, cache hit rate, shed
-count.
+count, and in fleet mode the ``serve.fleet.*`` supervision counters.
 """
 
 from __future__ import annotations
@@ -108,6 +115,63 @@ async def _listen(args) -> int:
     return 0
 
 
+async def _fleet(args) -> int:
+    import tempfile
+
+    from ..resilience.chaos import ChaosEvent, run_campaign
+    from .demo import BENCH_INPUT_SHAPE, bench_archive_model, save_bench_archive
+    from .fleet import FleetConfig, ReplicaFleet, ReplicaSpec
+
+    with tempfile.TemporaryDirectory() as td:
+        path = save_bench_archive(os.path.join(td, "fleet-demo.npz"))
+        spec = ReplicaSpec(
+            factory=bench_archive_model,
+            factory_kwargs={"path": str(path), "on_fault": "zero"},
+            config=ServeConfig(
+                max_batch=args.max_batch,
+                max_queue=args.max_queue,
+                policy=RunPolicy(timeout=args.deadline),
+            ),
+        )
+        config = FleetConfig(
+            replicas=args.replicas,
+            probe_interval_s=0.1,
+            policy=RunPolicy(timeout=args.deadline),
+        )
+        inputs = demo_inputs(
+            min(args.requests, 64), BENCH_INPUT_SHAPE
+        )
+        events = ()
+        if args.chaos == "kill":
+            events = (ChaosEvent(at=args.duration * 0.25, kind="kill", target=0),)
+        elif args.chaos == "corrupt":
+            events = (
+                ChaosEvent(at=args.duration * 0.25, kind="corrupt", target=0),
+            )
+        async with ReplicaFleet(spec, config) as fleet:
+            result = await run_campaign(
+                fleet,
+                inputs,
+                duration_s=args.duration,
+                concurrency=args.concurrency,
+                events=events,
+                archive_path=path,
+                deadline=args.deadline,
+            )
+            counters = fleet.counters()
+        print(f"replicas          {args.replicas}  (chaos: {args.chaos or 'none'})")
+        print(f"requests          {result.total}  ({result.total / result.elapsed_s:.0f} rps)")
+        print(f"ok                {result.ok}  (degraded {result.degraded_ok})")
+        print(f"availability      {result.availability:.3f}")
+        print(f"untyped           {result.untyped}")
+        print(f"by_status         {result.by_status}")
+        print(f"restarts          {result.restarts}")
+        if result.recovery_s is not None:
+            print(f"recovery          {result.recovery_s:.2f}s after last event")
+        print(f"fleet counters    {counters}")
+    return 0
+
+
 async def _client(args) -> int:
     host, _, port = args.client.partition(":")
     # client side cannot know the server's model; --tiny must match
@@ -137,10 +201,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--listen", metavar="HOST:PORT", help="run the TCP server")
     p.add_argument("--client", metavar="HOST:PORT", help="run the demo client")
+    p.add_argument(
+        "--replicas", type=int, default=0,
+        help="run the supervised fleet demo with N worker processes",
+    )
+    p.add_argument(
+        "--chaos", choices=["kill", "corrupt"],
+        help="fleet demo: inject this fault mid-load",
+    )
+    p.add_argument(
+        "--duration", type=float, default=5.0,
+        help="fleet demo: seconds of load",
+    )
     p.add_argument("--obs", metavar="DIR", help="dump metrics/trace here")
     args = p.parse_args(argv)
 
-    runner = _client if args.client else _listen if args.listen else _demo
+    runner = (
+        _client if args.client
+        else _listen if args.listen
+        else _fleet if args.replicas
+        else _demo
+    )
     obs_dir = args.obs or obs.obs_dir_from_env()
     if obs_dir:
         with obs.use(obs.Obs()) as o:

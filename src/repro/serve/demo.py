@@ -21,16 +21,25 @@ trained.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
-from ..core.model_store import compress_model
+from ..core.model_store import compress_model, load_archive
 from ..nn.layers import Dense, ReLU, Softmax
 from ..nn.sequential import Sequential
 from ..nn.zoo import lenet5
 from .cache import DecodedWeightCache
 from .model import ServedModel
 
-__all__ = ["demo_model", "bench_model", "demo_inputs", "BENCH_INPUT_SHAPE"]
+__all__ = [
+    "demo_model",
+    "bench_model",
+    "bench_archive_model",
+    "save_bench_archive",
+    "demo_inputs",
+    "BENCH_INPUT_SHAPE",
+]
 
 #: per-sample input shape of :func:`bench_model`
 BENCH_INPUT_SHAPE = (64,)
@@ -57,23 +66,64 @@ def demo_model(
     )
 
 
+def _bench_mlp() -> Sequential:
+    """The bench MLP skeleton (64 -> 64 -> 10), deterministic init."""
+    rng = np.random.default_rng(7)
+    return Sequential(
+        [
+            ("dense_1", Dense(BENCH_INPUT_SHAPE[0], 64, rng=rng)),
+            ("relu_1", ReLU()),
+            ("dense_2", Dense(64, 10, rng=rng)),
+            ("softmax", Softmax()),
+        ],
+        name="serve-bench-mlp",
+    )
+
+
 def bench_model(cache: DecodedWeightCache | None = None) -> ServedModel:
     """Tiny MLP (64 -> 64 -> 10) for service-overhead benchmarking."""
-    def build() -> object:
-        rng = np.random.default_rng(7)
-        return Sequential(
-            [
-                ("dense_1", Dense(BENCH_INPUT_SHAPE[0], 64, rng=rng)),
-                ("relu_1", ReLU()),
-                ("dense_2", Dense(64, 10, rng=rng)),
-                ("softmax", Softmax()),
-            ],
-            name="serve-bench-mlp",
-        )
-
-    archive = compress_model(build(), {"dense_1": 5.0}, codec="linefit")
+    archive = compress_model(_bench_mlp(), {"dense_1": 5.0}, codec="linefit")
     return ServedModel(
-        build(), archive, cache=cache, input_shape=BENCH_INPUT_SHAPE
+        _bench_mlp(), archive, cache=cache, input_shape=BENCH_INPUT_SHAPE
+    )
+
+
+def save_bench_archive(path: str | Path, raw_fallback: bool = True) -> Path:
+    """Write the bench MLP's compressed archive to ``path``.
+
+    The on-disk artifact the fleet's replica factories (and the chaos
+    campaign's bit-flip injector) work against; ``raw_fallback`` keeps
+    the uncompressed copy so the ``"raw"`` degradation policy has
+    something to restore.
+    """
+    path = Path(path)
+    archive = compress_model(
+        _bench_mlp(), {"dense_1": 5.0}, codec="linefit", raw_fallback=raw_fallback
+    )
+    archive.to_file(path)
+    return path
+
+
+def bench_archive_model(
+    path: str | Path,
+    on_fault: str = "zero",
+    cache: DecodedWeightCache | None = None,
+) -> ServedModel:
+    """Serve the bench MLP from an archive file on disk.
+
+    Module-level and string-parameterized, so it pickles into fleet
+    worker processes.  Each call re-reads ``path`` — a replica
+    restarting after the file was damaged loads the *current* bytes and
+    (under ``on_fault="zero"``/``"raw"``) serves degraded with a damage
+    report instead of dying.
+    """
+    archive = load_archive(path)
+    return ServedModel(
+        _bench_mlp(),
+        archive,
+        cache=cache,
+        input_shape=BENCH_INPUT_SHAPE,
+        on_fault=on_fault,
     )
 
 

@@ -23,16 +23,24 @@ once per batch rather than once per request.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 
+from .. import obs
 from ..core.codec import decode as wire_decode
 from ..core.codecs import CompressedBlob, get_codec
+from ..core.errors import CodecError, IntegrityError
 from ..core.model_store import ModelArchive
 from ..nn.graph import Model
 from ..runtime.keys import fingerprint_bytes, result_key
 from .cache import DecodedWeightCache
 
-__all__ = ["ServedModel", "decoded_weight_key"]
+__all__ = ["ServedModel", "decoded_weight_key", "ON_FAULT_POLICIES"]
+
+#: degradation policies accepted by :class:`ServedModel` — the same
+#: contract as :meth:`repro.core.model_store.ModelArchive.apply`
+ON_FAULT_POLICIES = ("raise", "zero", "raw")
 
 
 def decoded_weight_key(payload: bytes, spec: dict | None, shape: tuple) -> str:
@@ -102,6 +110,25 @@ class ServedModel:
     input_shape:
         Per-sample input shape for request validation (``None`` skips
         validation).
+    on_fault:
+        Per-layer degradation policy when a compressed payload fails
+        integrity verification or decoding on the serving path — the
+        same contract as :meth:`ModelArchive.apply`:
+
+        * ``"raise"`` (default) — propagate the :class:`CodecError`;
+          the forward fails and the service answers ``Failed``;
+        * ``"zero"`` — salvage the undamaged line-fit segments and
+          zero-fill the rest (whole-layer zeros for other codecs);
+        * ``"raw"`` — restore the archive's uncompressed fallback copy
+          (requires ``compress_model(..., raw_fallback=True)``).
+
+        A degraded layer is recorded in :attr:`damage` (layer ->
+        report, including the structured
+        :class:`~repro.resilience.degrade.DamageReport` fields when the
+        zero policy salvaged a line-fit payload), counted once under
+        ``serve.degraded.layers``, and surfaced in every subsequent
+        ``Ok`` reply's ``degraded`` metadata — a replica holding a
+        damaged archive keeps serving instead of dying.
     """
 
     def __init__(
@@ -110,11 +137,19 @@ class ServedModel:
         archive: ModelArchive,
         cache: DecodedWeightCache | None = None,
         input_shape: tuple[int, ...] | None = None,
+        on_fault: str = "raise",
     ) -> None:
+        if on_fault not in ON_FAULT_POLICIES:
+            raise ValueError(
+                f"unknown degradation policy {on_fault!r}; use {ON_FAULT_POLICIES}"
+            )
         self.model = model
         self.archive = archive
         self.cache = cache if cache is not None else DecodedWeightCache()
         self.input_shape = tuple(input_shape) if input_shape is not None else None
+        self.on_fault = on_fault
+        #: layer -> degradation report; empty while weights are pristine
+        self.damage: dict[str, dict] = {}
         # raw layers + non-weight state install once; compressed layers
         # resolve per forward through the cache
         for name, arr in archive.raw.items():
@@ -140,6 +175,51 @@ class ServedModel:
     def compressed_layers(self) -> list[str]:
         return [c.name for c in self._compressed]
 
+    # -- degraded-mode decode ----------------------------------------------
+    def _degrade(self, c: _CompressedLayer, exc: CodecError) -> tuple[np.ndarray, dict]:
+        """Salvage one damaged layer under :attr:`on_fault` (not "raise")."""
+        num_weights = int(np.prod(c.shape, dtype=np.int64))
+        if self.on_fault == "raw":
+            fb = self.archive.fallback.get(c.name)
+            if fb is None:
+                raise IntegrityError(
+                    f"layer {c.name!r} is damaged and the archive stores no "
+                    f"raw fallback copy (build with compress_model(raw_fallback=True))"
+                ) from exc
+            arr = np.ascontiguousarray(fb, dtype=np.float32).ravel()
+            return arr, {"action": "raw-fallback", "error": str(exc)}
+        # "zero": salvage undamaged line-fit frames, zero everything else
+        terminal = (c.spec["name"].rsplit("|", 1)[-1] if c.spec else "linefit").strip()
+        if terminal == "linefit" and (c.spec is None or c.spec["name"] == "linefit"):
+            from ..resilience.degrade import decode_degraded  # late: avoid cycle
+
+            try:
+                stream, report = decode_degraded(c.payload, num_weights)
+                return stream.ravel(), {
+                    "action": "zero-fill (salvaged segments)",
+                    "error": str(exc),
+                    **asdict(report),
+                }
+            except CodecError:
+                pass  # structurally unsalvageable: fall through to full zero
+        return (
+            np.zeros(num_weights, dtype=np.float32),
+            {"action": "zero-fill (whole layer)", "error": str(exc)},
+        )
+
+    def _resolve(self, c: _CompressedLayer) -> np.ndarray:
+        """Cache-miss decode honouring the degradation policy."""
+        try:
+            return c.decode()
+        except CodecError as exc:
+            if self.on_fault == "raise":
+                raise
+            arr, report = self._degrade(c, exc)
+            if c.name not in self.damage:
+                self.damage[c.name] = report
+                obs.current().count("serve.degraded.layers")
+            return arr
+
     def providers(self) -> dict[str, object]:
         """Resolve every compressed layer through the cache (hot path).
 
@@ -147,7 +227,10 @@ class ServedModel:
         views over cached decoded arrays, reused by every sample in the
         batch — this is where serving amortizes the decode.
         """
-        return {c.name: self.cache.provider(c.key, c.decode) for c in self._compressed}
+        return {
+            c.name: self.cache.provider(c.key, lambda c=c: self._resolve(c))
+            for c in self._compressed
+        }
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Single-sample forward (adds/strips the batch dimension)."""

@@ -35,13 +35,22 @@ class Reply:
 
 @dataclass(frozen=True)
 class Ok(Reply):
-    """Successful inference within the deadline."""
+    """Successful inference within the deadline.
+
+    ``degraded`` is ``None`` on the healthy path; a model serving
+    salvaged weights (a damaged archive applied under an ``on_fault``
+    policy) attaches its damage report — layer name -> what the
+    degradation did — so a client can tell a pristine answer from a
+    best-effort one without the reply ceasing to be ``Ok``.
+    """
 
     output: np.ndarray
     #: submit-to-reply wall-clock seconds
     latency_s: float
     #: how many requests shared the forward pass
     batch_size: int
+    #: damage report of the serving model (``None`` = pristine weights)
+    degraded: dict | None = field(default=None)
 
     status = "ok"
 

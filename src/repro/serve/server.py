@@ -23,6 +23,18 @@ Reply (one per request, matched by ``id``)::
 Requests on one connection run *concurrently* (each line spawns a
 submit task), so a single client can saturate the batcher — replies may
 interleave out of request order, hence the ``id`` echo.
+
+Control plane: ``{"op": "health", "id": 0}`` answers immediately with
+the service's counters and the model's damage report, without touching
+the inference queue — the replica supervisor's readiness probe.
+
+Framing limits: a request line longer than ``max_line_bytes`` (default
+1 MiB) is discarded up to its newline and answered with a typed
+``failed`` reply (``id: null`` — the id sits somewhere in the bytes we
+refused to buffer), and the connection keeps serving.  The historical
+behaviour — asyncio's default 64 KiB ``readline`` limit killing the
+handler task and silently dropping the connection — is exactly the kind
+of silent failure the typed-reply contract exists to prevent.
 """
 
 from __future__ import annotations
@@ -35,18 +47,30 @@ import numpy as np
 from .replies import DeadlineExceeded, Failed, Ok, Overloaded, Reply
 from .service import InferenceService
 
-__all__ = ["reply_to_doc", "serve_tcp", "request_many"]
+__all__ = [
+    "reply_to_doc",
+    "doc_to_reply",
+    "serve_tcp",
+    "request_many",
+    "DEFAULT_MAX_LINE_BYTES",
+]
+
+#: default per-line byte budget of the JSON-lines framing (both sides)
+DEFAULT_MAX_LINE_BYTES = 1 << 20
 
 
 def reply_to_doc(reply: Reply) -> dict:
     """Wire representation of a typed reply (without the ``id`` echo)."""
     if isinstance(reply, Ok):
-        return {
+        doc = {
             "status": reply.status,
             "output": np.asarray(reply.output).tolist(),
             "latency_s": reply.latency_s,
             "batch_size": reply.batch_size,
         }
+        if reply.degraded:
+            doc["degraded"] = reply.degraded
+        return doc
     if isinstance(reply, Overloaded):
         return {"status": reply.status, "queue_depth": reply.queue_depth}
     if isinstance(reply, DeadlineExceeded):
@@ -61,13 +85,77 @@ def reply_to_doc(reply: Reply) -> dict:
     raise TypeError(f"unknown reply type: {type(reply).__name__}")
 
 
+def doc_to_reply(doc: dict) -> Reply:
+    """Typed reply from a wire doc — the router's inverse of
+    :func:`reply_to_doc`, so fleet clients get the same closed reply
+    union as in-process callers."""
+    status = doc.get("status")
+    if status == "ok":
+        return Ok(
+            output=np.asarray(doc["output"], dtype=np.float32),
+            latency_s=float(doc.get("latency_s", 0.0)),
+            batch_size=int(doc.get("batch_size", 1)),
+            degraded=doc.get("degraded") or None,
+        )
+    if status == "overloaded":
+        return Overloaded(queue_depth=int(doc.get("queue_depth", 0)))
+    if status == "deadline_exceeded":
+        return DeadlineExceeded(
+            deadline_s=float(doc.get("deadline_s", 0.0)),
+            waited_s=float(doc.get("waited_s", 0.0)),
+            executed=bool(doc.get("executed", False)),
+        )
+    if status == "failed":
+        return Failed(error=str(doc.get("error", "unknown failure")))
+    raise ValueError(f"unknown wire reply status: {status!r}")
+
+
+async def _read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[bytes | None, bool]:
+    """One framed line, tolerant of the stream limit.
+
+    Returns ``(line, overrun)``: ``line=None`` with ``overrun=False``
+    means EOF; ``overrun=True`` means a line exceeded the reader's
+    limit and was discarded up to (and including) its newline — the
+    caller owes the client a typed failure.
+    """
+    try:
+        return await reader.readuntil(b"\n"), False
+    except asyncio.IncompleteReadError as e:
+        # EOF: a final unterminated line still gets served
+        return (e.partial if e.partial else None), False
+    except asyncio.LimitOverrunError as e:
+        # over-long line: drop buffered bytes (the separator is not in
+        # them, or sits past the limit) until the newline goes by
+        discard = max(e.consumed, 1)
+        while True:
+            try:
+                await reader.readexactly(discard)
+            except asyncio.IncompleteReadError:
+                return None, True  # connection died mid-discard
+            try:
+                await reader.readuntil(b"\n")
+                return None, True
+            except asyncio.LimitOverrunError as again:
+                discard = max(again.consumed, 1)
+            except asyncio.IncompleteReadError:
+                return None, True
+
+
 async def _handle_connection(
     service: InferenceService,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
+    max_line_bytes: int,
 ) -> None:
     lock = asyncio.Lock()  # one reply line at a time per connection
     tasks: set[asyncio.Task] = set()
+
+    async def send(out: dict) -> None:
+        async with lock:
+            writer.write((json.dumps(out) + "\n").encode())
+            await writer.drain()
 
     async def handle_line(doc: object) -> None:
         # valid JSON need not be an object ('[1,2]', '5'): default the id
@@ -79,20 +167,43 @@ async def _handle_connection(
                 raise TypeError(
                     f"request must be a JSON object, got {type(doc).__name__}"
                 )
+            if doc.get("op") == "health":
+                # control plane: answer from the event loop, never the
+                # inference queue — a saturated service still probes ready
+                out = {
+                    "status": "ok",
+                    "op": "health",
+                    "healthy": True,
+                    "counters": service.counters(),
+                    "degraded": getattr(service.model, "damage", None) or {},
+                }
+                out["id"] = rid
+                await send(out)
+                return
             x = np.asarray(doc["input"], dtype=np.float32)
             reply = await service.submit(x, deadline=doc.get("deadline"))
             out = reply_to_doc(reply)
         except Exception as e:  # malformed request: reply, keep serving
             out = {"status": "failed", "error": f"{type(e).__name__}: {e}"}
         out["id"] = rid
-        async with lock:
-            writer.write((json.dumps(out) + "\n").encode())
-            await writer.drain()
+        await send(out)
 
     try:
         while True:
-            line = await reader.readline()
-            if not line:
+            line, overrun = await _read_frame(reader)
+            if overrun:
+                await send(
+                    {
+                        "id": None,
+                        "status": "failed",
+                        "error": (
+                            f"request line exceeds max_line_bytes="
+                            f"{max_line_bytes}; dropped"
+                        ),
+                    }
+                )
+                continue
+            if line is None:
                 break
             line = line.strip()
             if not line:
@@ -100,32 +211,49 @@ async def _handle_connection(
             try:
                 doc = json.loads(line)
             except json.JSONDecodeError as e:
-                async with lock:
-                    writer.write(
-                        (json.dumps({"status": "failed", "error": str(e)}) + "\n").encode()
-                    )
-                    await writer.drain()
+                await send({"id": None, "status": "failed", "error": str(e)})
                 continue
             task = asyncio.ensure_future(handle_line(doc))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+    except (ConnectionError, OSError):
+        pass  # client went away mid-read/mid-write: nothing left to answer
+    except asyncio.CancelledError:
+        # event-loop teardown (replica SIGTERM with connections parked in
+        # read): exit cleanly so the protocol's done-callback doesn't log
+        pass
     finally:
+        for t in tasks:
+            t.cancel()
         writer.close()
         try:
             await writer.wait_closed()
-        except (ConnectionError, OSError):
+        except (ConnectionError, OSError, asyncio.CancelledError):
             pass
 
 
 async def serve_tcp(
-    service: InferenceService, host: str = "127.0.0.1", port: int = 0
+    service: InferenceService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
 ) -> asyncio.AbstractServer:
     """Start listening; returns the server (``server.sockets`` has the
-    bound address — ``port=0`` picks a free one)."""
+    bound address — ``port=0`` picks a free one).
+
+    ``max_line_bytes`` bounds one JSON line: longer request lines are
+    discarded and answered with a typed ``failed`` reply (``id: null``)
+    while the connection keeps serving.
+    """
+    if max_line_bytes < 1:
+        raise ValueError(f"max_line_bytes must be >= 1, got {max_line_bytes}")
     return await asyncio.start_server(
-        lambda r, w: _handle_connection(service, r, w), host, port
+        lambda r, w: _handle_connection(service, r, w, max_line_bytes),
+        host,
+        port,
+        limit=max_line_bytes,
     )
 
 
@@ -134,14 +262,19 @@ async def request_many(
     port: int,
     inputs: list[np.ndarray],
     deadline: float | None = None,
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
 ) -> list[dict]:
     """Demo client: pipeline every input over one connection.
 
     All requests are written before any reply is awaited (the server
     handles them concurrently); returns reply docs re-ordered to match
-    ``inputs`` via the ``id`` echo.
+    ``inputs`` via the ``id`` echo.  A connection that dies
+    mid-conversation raises :class:`ConnectionError` — the caller is
+    never left hanging on a reply that cannot arrive.
     """
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=max_line_bytes
+    )
     try:
         for i, x in enumerate(inputs):
             doc = {"id": i, "input": np.asarray(x).tolist()}
@@ -151,11 +284,30 @@ async def request_many(
         await writer.drain()
         replies: dict[int, dict] = {}
         while len(replies) < len(inputs):
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except (ConnectionError, OSError) as e:
+                raise ConnectionError(
+                    f"connection lost mid-conversation "
+                    f"({len(replies)}/{len(inputs)} replies): {e}"
+                ) from e
             if not line:
-                raise ConnectionError("server closed mid-conversation")
+                raise ConnectionError(
+                    f"server closed mid-conversation "
+                    f"({len(replies)}/{len(inputs)} replies received)"
+                )
             doc = json.loads(line)
-            replies[doc["id"]] = doc
+            rid = doc.get("id")
+            if isinstance(rid, int) and 0 <= rid < len(inputs):
+                replies[rid] = doc
+            # replies with a null/unknown id (e.g. an overrun notice)
+            # can't be matched to an input; surface them as an error
+            # rather than waiting forever for a reply that won't come
+            else:
+                raise ConnectionError(
+                    f"unmatched reply on the wire (id={rid!r}): "
+                    f"{doc.get('error', doc.get('status'))}"
+                )
         return [replies[i] for i in range(len(inputs))]
     finally:
         writer.close()

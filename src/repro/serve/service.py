@@ -158,6 +158,7 @@ class InferenceService:
         self.deadline_exceeded = 0  # executed, result discarded
         self.failed = 0
         self.batches = 0
+        self.degraded = 0  # Ok replies served from damaged weights
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -333,6 +334,10 @@ class InferenceService:
             outputs = [None] * len(live)
             errors = [e] * len(live)
         done = time.perf_counter()
+        # a model serving salvaged weights (ServedModel with an on_fault
+        # policy and a damaged archive) exposes its damage report; ride
+        # it on every Ok so degraded answers are distinguishable
+        damage = getattr(self.model, "damage", None) or None
         for p, out, err in zip(live, outputs, errors):
             if p.future.cancelled():
                 continue
@@ -358,8 +363,16 @@ class InferenceService:
                 o.observe(
                     "serve.latency_seconds", latency, buckets=LATENCY_BUCKETS
                 )
+                if damage:
+                    self.degraded += 1
+                    o.count("serve.degraded")
                 p.future.set_result(
-                    Ok(output=out, latency_s=latency, batch_size=len(live))
+                    Ok(
+                        output=out,
+                        latency_s=latency,
+                        batch_size=len(live),
+                        degraded=damage,
+                    )
                 )
         if cancelled:
             raise asyncio.CancelledError
@@ -374,4 +387,5 @@ class InferenceService:
             "deadline_exceeded": self.deadline_exceeded,
             "failed": self.failed,
             "batches": self.batches,
+            "degraded": self.degraded,
         }

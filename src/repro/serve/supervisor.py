@@ -1,0 +1,401 @@
+"""Process-replica supervision: spawn, probe, restart.
+
+One :class:`ReplicaSupervisor` owns N worker processes, each running a
+:class:`~repro.serve.service.InferenceService` over its own
+:class:`~repro.serve.model.ServedModel` behind the JSON-lines TCP
+transport.  The supervisor's job is the availability loop the single-
+process service cannot provide: one crash, one hung forward, or one
+damaged archive must cost *one replica*, never the endpoint.
+
+Per replica, a monitor task walks a small state machine::
+
+    starting -- handshake --> ready -- probe failures / death --> down
+        ^                                                          |
+        +------- spawn <-- backoff (capped exponential, jittered) -+
+
+* **liveness** — the worker process is alive (``Process.is_alive``; a
+  SIGKILL'd replica is declared dead on the next tick without waiting
+  for a network timeout);
+* **readiness** — a fresh-connection ``{"op": "health"}`` probe answers
+  within ``probe_timeout``.  A SIGSTOP'd (hung) replica still accepts
+  TCP connections in the kernel's backlog, so only the reply deadline
+  catches it — which is exactly why the probe is a request/response,
+  not a connect test;
+* **restart** — after ``fail_threshold`` consecutive probe failures (or
+  immediate death) the worker is killed and respawned after a
+  :meth:`~repro.runtime.pool.RunPolicy.backoff_for` delay — the sweep
+  pool's capped-exponential/full-jitter schedule, so a fleet of
+  supervisors recovering from one incident doesn't thunder back in
+  lockstep.  A replica that stays ready for ``backoff_reset_s`` earns
+  its attempt counter back.
+
+The supervisor never speaks to replicas on the request path — that is
+the router's job (:mod:`repro.serve.router`); it only mutates each
+handle's ``state``/``client``/``breaker`` as health changes, which the
+router reads when picking a destination.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing as mp
+import signal
+import time
+
+from .. import obs
+from .router import CircuitBreaker, ReplicaClient
+from .server import serve_tcp
+from .service import InferenceService
+
+__all__ = ["Replica", "ReplicaSupervisor"]
+
+#: replica lifecycle states
+STARTING, READY, DOWN, BACKOFF, STOPPED = (
+    "starting",
+    "ready",
+    "down",
+    "backoff",
+    "stopped",
+)
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _replica_main(factory, factory_kwargs, serve_config, host, max_line_bytes, conn):
+    """Worker entry point (module-level: picklable under spawn)."""
+    try:
+        asyncio.run(
+            _replica_serve(
+                factory, factory_kwargs, serve_config, host, max_line_bytes, conn
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+
+
+async def _replica_serve(factory, factory_kwargs, serve_config, host, max_line_bytes, conn):
+    """Build the served model, serve TCP, report the port, run until SIGTERM."""
+    try:
+        served = factory(**factory_kwargs)
+    except Exception as e:  # noqa: BLE001 - reported through the pipe
+        try:
+            conn.send(("error", f"{type(e).__name__}: {e}"))
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+    service = InferenceService(served, serve_config)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+    async with service:
+        server = await serve_tcp(service, host, 0, max_line_bytes=max_line_bytes)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            conn.send(("ready", port))
+        except (BrokenPipeError, OSError):
+            return  # supervisor is gone: no one to serve
+        try:
+            await stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+
+# -- supervisor ----------------------------------------------------------------
+
+
+class Replica:
+    """Supervisor-side handle of one worker process."""
+
+    __slots__ = (
+        "index",
+        "state",
+        "process",
+        "conn",
+        "port",
+        "client",
+        "breaker",
+        "generation",
+        "ready_since",
+        "last_health",
+    )
+
+    def __init__(self, index: int, breaker: CircuitBreaker) -> None:
+        self.index = index
+        self.state = STOPPED
+        self.process = None
+        self.conn = None
+        self.port = None
+        self.client: ReplicaClient | None = None
+        self.breaker = breaker
+        self.generation = 0
+        self.ready_since: float | None = None
+        self.last_health: dict | None = None
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def available(self) -> bool:
+        """Routable right now: ready, connected, breaker permitting."""
+        return self.state == READY and self.client is not None and self.breaker.allow()
+
+
+class ReplicaSupervisor:
+    """Spawn and babysit the fleet's worker processes.
+
+    ``spec`` and ``config`` are the :class:`~repro.serve.fleet.
+    ReplicaSpec` / :class:`~repro.serve.fleet.FleetConfig` duck types —
+    only attributes are read, so tests can substitute lightweight
+    stand-ins.
+    """
+
+    def __init__(self, spec, config) -> None:
+        self.spec = spec
+        self.config = config
+        self._ctx = self._pick_context(config.mp_context)
+        self.handles = [
+            Replica(
+                i,
+                CircuitBreaker(
+                    failure_threshold=config.breaker_threshold,
+                    reset_after=config.breaker_reset_s,
+                ),
+            )
+            for i in range(config.replicas)
+        ]
+        self._monitors: list[asyncio.Task] = []
+        self._stopping = False
+        self.restarts = 0
+        self.probe_failures = 0
+
+    @staticmethod
+    def _pick_context(name: str | None):
+        if name:
+            return mp.get_context(name)
+        try:
+            return mp.get_context("fork")
+        except ValueError:  # platforms without fork
+            return mp.get_context()
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        if self._monitors:
+            raise RuntimeError("supervisor already started")
+        self._stopping = False
+        loop = asyncio.get_running_loop()
+        for r in self.handles:
+            self._spawn(r)
+            self._monitors.append(
+                loop.create_task(self._monitor(r), name=f"replica-monitor-{r.index}")
+            )
+
+    async def stop(self) -> None:
+        """Stop monitors, then terminate every worker (TERM, then KILL)."""
+        self._stopping = True
+        for t in self._monitors:
+            t.cancel()
+        for t in self._monitors:
+            try:
+                await t
+            except asyncio.CancelledError:
+                pass
+        self._monitors = []
+        for r in self.handles:
+            if r.client is not None:
+                r.client.close()
+                r.client = None
+            p = r.process
+            if p is not None and p.is_alive():
+                p.terminate()
+        deadline = time.monotonic() + self.config.stop_grace_s
+        for r in self.handles:
+            p = r.process
+            if p is None:
+                continue
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=1.0)
+            self._close_conn(r)
+            r.state = STOPPED
+        self._set_ready_gauge()
+
+    async def wait_ready(self, n: int | None = None, timeout: float = 30.0) -> bool:
+        """Block until ``n`` replicas are ready (default: all of them)."""
+        want = self.config.replicas if n is None else n
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.ready_count >= want:
+                return True
+            await asyncio.sleep(0.02)
+        return self.ready_count >= want
+
+    @property
+    def ready_count(self) -> int:
+        return sum(1 for r in self.handles if r.state == READY)
+
+    # -- spawn/reap --------------------------------------------------------
+    def _spawn(self, r: Replica) -> None:
+        parent, child = self._ctx.Pipe(duplex=False)
+        r.process = self._ctx.Process(
+            target=_replica_main,
+            args=(
+                self.spec.factory,
+                dict(self.spec.factory_kwargs),
+                self.spec.config,
+                self.spec.host,
+                self.spec.max_line_bytes,
+                child,
+            ),
+            name=f"serve-replica-{r.index}",
+            daemon=True,
+        )
+        r.process.start()
+        child.close()
+        r.conn = parent
+        r.port = None
+        r.state = STARTING
+        r.generation += 1
+        r.ready_since = None
+        r.breaker.reset()
+
+    def _close_conn(self, r: Replica) -> None:
+        if r.conn is not None:
+            try:
+                r.conn.close()
+            except OSError:
+                pass
+            r.conn = None
+
+    def _reap(self, r: Replica) -> None:
+        """Take a bad replica out of rotation and make sure it is dead.
+
+        SIGKILL, not SIGTERM: a hung (or SIGSTOP'd) worker won't run a
+        TERM handler, and a replica only reaches here after failing its
+        health contract — there is nothing graceful left to preserve.
+        """
+        r.state = DOWN
+        self._set_ready_gauge()
+        if r.client is not None:
+            r.client.close()  # pending router requests fail typed, now
+            r.client = None
+        p = r.process
+        if p is not None and p.is_alive():
+            p.kill()
+            p.join(timeout=2.0)
+        self._close_conn(r)
+
+    # -- probes ------------------------------------------------------------
+    async def _await_handshake(self, r: Replica) -> bool:
+        """Wait for the worker to report its bound port (or die trying)."""
+        deadline = time.monotonic() + self.config.start_timeout_s
+        while time.monotonic() < deadline:
+            conn = r.conn
+            if conn is None:
+                return False
+            try:
+                if conn.poll():
+                    msg = conn.recv()
+                    if isinstance(msg, tuple) and msg and msg[0] == "ready":
+                        r.port = int(msg[1])
+                        return True
+                    return False  # ("error", ...) from a failed factory
+            except (EOFError, OSError):
+                return False
+            if r.process is None or not r.process.is_alive():
+                return False
+            await asyncio.sleep(0.02)
+        return False
+
+    async def _probe(self, r: Replica) -> bool:
+        """One readiness probe: fresh connection, health op, bounded wait."""
+        if r.process is None or not r.process.is_alive():
+            return False
+        try:
+            return await asyncio.wait_for(
+                self._health_roundtrip(r), self.config.probe_timeout_s
+            )
+        except (TimeoutError, asyncio.TimeoutError, OSError, ConnectionError, ValueError):
+            return False
+
+    async def _health_roundtrip(self, r: Replica) -> bool:
+        reader, writer = await asyncio.open_connection(self.spec.host, r.port)
+        try:
+            writer.write(b'{"op": "health", "id": 0}\n')
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                return False
+            doc = json.loads(line)
+            r.last_health = doc
+            return bool(doc.get("healthy"))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _set_ready_gauge(self) -> None:
+        obs.current().gauge("serve.fleet.ready", self.ready_count)
+
+    # -- the per-replica state machine -------------------------------------
+    async def _monitor(self, r: Replica) -> None:
+        cfg = self.config
+        attempt = 0
+        rng = cfg.restart_policy.rng()
+        while not self._stopping:
+            if await self._await_handshake(r):
+                r.client = ReplicaClient(
+                    self.spec.host, r.port, max_line_bytes=self.spec.max_line_bytes
+                )
+                r.state = READY
+                r.ready_since = time.monotonic()
+                self._set_ready_gauge()
+                fails = 0
+                while not self._stopping:
+                    await asyncio.sleep(cfg.probe_interval_s)
+                    if self._stopping:
+                        return
+                    alive = r.process is not None and r.process.is_alive()
+                    if alive and await self._probe(r):
+                        fails = 0
+                        if (
+                            time.monotonic() - r.ready_since
+                            > cfg.backoff_reset_s
+                        ):
+                            attempt = 0  # earned a clean slate
+                        continue
+                    self.probe_failures += 1
+                    obs.current().count("serve.fleet.probe_failures")
+                    fails += 1
+                    # death is unambiguous; probe flakes need a streak
+                    if not alive or fails >= cfg.fail_threshold:
+                        break
+            if self._stopping:
+                return
+            self._reap(r)
+            delay = cfg.restart_policy.backoff_for(attempt, rng)
+            attempt += 1
+            r.state = BACKOFF
+            if delay:
+                await asyncio.sleep(delay)
+            if self._stopping:
+                return
+            self._spawn(r)
+            self.restarts += 1
+            obs.current().count("serve.fleet.restarts")
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "restarts": self.restarts,
+            "probe_failures": self.probe_failures,
+            "ready": self.ready_count,
+        }

@@ -1,0 +1,156 @@
+"""Chaos campaigns (``-m chaos``): the fleet's guarantees under fire.
+
+Excluded from the default tier-1 run (each campaign holds multi-second
+load against real subprocesses); CI runs them in a dedicated step with
+``pytest -m chaos``.  The assertions here are the PR's acceptance
+criteria verbatim: zero silent drops, availability above the floor,
+bounded recovery, degraded serving with damage reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.resilience.chaos import ChaosEvent, corrupt_archive, run_campaign
+from repro.runtime.pool import RunPolicy
+from repro.serve.demo import (
+    BENCH_INPUT_SHAPE,
+    bench_archive_model,
+    demo_inputs,
+    save_bench_archive,
+)
+from repro.serve.fleet import FleetConfig, ReplicaFleet, ReplicaSpec
+
+pytestmark = pytest.mark.chaos
+
+AVAILABILITY_FLOOR = 0.90
+RECOVERY_BOUND_S = 10.0
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def fleet_for(tmp_path, replicas=3, **kw):
+    path = save_bench_archive(tmp_path / "chaos.npz")
+    spec = ReplicaSpec(
+        factory=bench_archive_model,
+        factory_kwargs={"path": str(path), "on_fault": "zero"},
+    )
+    kw.setdefault("probe_interval_s", 0.1)
+    kw.setdefault("policy", RunPolicy(timeout=1.0))
+    kw.setdefault(
+        "restart_policy",
+        RunPolicy(backoff=0.05, max_backoff=0.5, jitter=True, jitter_seed=0),
+    )
+    return ReplicaFleet(spec, FleetConfig(replicas=replicas, **kw)), path
+
+
+class TestKillCampaign:
+    def test_kill_one_replica_under_load(self, tmp_path):
+        fleet, _ = fleet_for(tmp_path)
+
+        async def go():
+            async with fleet:
+                return await run_campaign(
+                    fleet,
+                    demo_inputs(32, BENCH_INPUT_SHAPE),
+                    duration_s=5.0,
+                    concurrency=8,
+                    events=(ChaosEvent(at=1.0, kind="kill", target=0),),
+                    deadline=1.0,
+                )
+
+        res = run(go())
+        assert res.untyped == 0, f"silent drops: {res.by_status}"
+        assert res.availability >= AVAILABILITY_FLOOR, res.by_status
+        assert res.restarts >= 1
+        assert res.recovery_s is not None and res.recovery_s <= RECOVERY_BOUND_S
+
+    def test_repeated_kills_all_recover(self, tmp_path):
+        fleet, _ = fleet_for(tmp_path)
+
+        async def go():
+            async with fleet:
+                return await run_campaign(
+                    fleet,
+                    demo_inputs(32, BENCH_INPUT_SHAPE),
+                    duration_s=6.0,
+                    concurrency=8,
+                    events=(
+                        ChaosEvent(at=1.0, kind="kill", target=0),
+                        ChaosEvent(at=2.5, kind="kill", target=1),
+                        ChaosEvent(at=4.0, kind="kill", target=2),
+                    ),
+                    deadline=1.0,
+                )
+
+        res = run(go())
+        assert res.untyped == 0
+        assert res.availability >= AVAILABILITY_FLOOR
+        assert res.restarts >= 3
+        assert res.recovery_s is not None and res.recovery_s <= RECOVERY_BOUND_S
+
+
+class TestHangCampaign:
+    def test_sigstopped_replica_detected_and_replaced(self, tmp_path):
+        fleet, _ = fleet_for(
+            tmp_path, probe_timeout_s=0.5, fail_threshold=2
+        )
+
+        async def go():
+            async with fleet:
+                return await run_campaign(
+                    fleet,
+                    demo_inputs(32, BENCH_INPUT_SHAPE),
+                    duration_s=6.0,
+                    concurrency=8,
+                    events=(ChaosEvent(at=1.0, kind="hang", target=0),),
+                    deadline=1.0,
+                )
+
+        res = run(go())
+        assert res.untyped == 0
+        assert res.availability >= AVAILABILITY_FLOOR
+        # the hang is invisible to is_alive(); only probing catches it
+        assert res.restarts >= 1
+        assert res.recovery_s is not None and res.recovery_s <= RECOVERY_BOUND_S
+
+
+class TestCorruptionCampaign:
+    def test_corrupted_archive_serves_degraded_with_report(self, tmp_path):
+        fleet, path = fleet_for(tmp_path)
+
+        async def go():
+            async with fleet:
+                return await run_campaign(
+                    fleet,
+                    demo_inputs(32, BENCH_INPUT_SHAPE),
+                    duration_s=6.0,
+                    concurrency=8,
+                    events=(
+                        ChaosEvent(at=1.0, kind="kill", target=0),
+                        ChaosEvent(at=2.0, kind="corrupt", target=1),
+                    ),
+                    archive_path=path,
+                    deadline=1.0,
+                )
+
+        res = run(go())
+        assert res.untyped == 0
+        assert res.availability >= AVAILABILITY_FLOOR
+        assert res.restarts >= 2
+        # the replica that restarted onto damaged bytes answered Ok
+        # with damage metadata attached
+        assert res.degraded_ok >= 1
+        assert "dense_1" in res.corrupted_digests
+        assert res.recovery_s is not None and res.recovery_s <= RECOVERY_BOUND_S
+
+    def test_corruption_is_seeded_and_reproducible(self, tmp_path):
+        a = save_bench_archive(tmp_path / "a.npz")
+        b = save_bench_archive(tmp_path / "b.npz")
+        assert corrupt_archive(a, seed=11) == corrupt_archive(b, seed=11)
+        c = save_bench_archive(tmp_path / "c.npz")
+        assert corrupt_archive(c, seed=12) != corrupt_archive(a, seed=11)

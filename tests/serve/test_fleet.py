@@ -1,0 +1,201 @@
+"""ReplicaFleet integration: real worker processes, fast settings.
+
+Each test spawns genuine subprocesses, so the settings are tuned hard
+(tiny model, 100 ms probes, sub-second backoff) to keep the suite in
+tier-1 time.  The long-running chaos campaigns live in
+``test_chaos.py`` behind the ``chaos`` marker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.pool import RunPolicy
+from repro.serve.demo import (
+    BENCH_INPUT_SHAPE,
+    bench_archive_model,
+    demo_inputs,
+    save_bench_archive,
+)
+from repro.serve.fleet import FleetConfig, ReplicaFleet, ReplicaSpec
+from repro.serve.replies import Ok
+from repro.serve.supervisor import READY
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def fast_config(replicas=2, **kw):
+    kw.setdefault("probe_interval_s", 0.1)
+    kw.setdefault("probe_timeout_s", 1.0)
+    kw.setdefault("policy", RunPolicy(timeout=2.0))
+    kw.setdefault(
+        "restart_policy",
+        RunPolicy(backoff=0.05, max_backoff=0.2, jitter=True, jitter_seed=0),
+    )
+    return FleetConfig(replicas=replicas, **kw)
+
+
+def spec_for(tmp_path, on_fault="zero"):
+    path = save_bench_archive(tmp_path / "fleet.npz")
+    return ReplicaSpec(
+        factory=bench_archive_model,
+        factory_kwargs={"path": str(path), "on_fault": on_fault},
+    )
+
+
+class TestFleetServing:
+    def test_serves_and_balances(self, tmp_path):
+        spec = spec_for(tmp_path)
+
+        async def go():
+            async with ReplicaFleet(spec, fast_config(replicas=2)) as fleet:
+                assert fleet.ready_count == 2
+                replies = [
+                    await fleet.submit(x)
+                    for x in demo_inputs(8, BENCH_INPUT_SHAPE)
+                ]
+                counters = fleet.counters()
+            return replies, counters
+
+        replies, counters = run(go())
+        assert all(isinstance(r, Ok) for r in replies)
+        assert counters["router_ok"] == 8
+        assert counters["supervisor_restarts"] == 0
+
+    def test_fleet_output_matches_in_process_model(self, tmp_path):
+        spec = spec_for(tmp_path)
+        sm = bench_archive_model(tmp_path / "fleet.npz")
+        xs = demo_inputs(3, BENCH_INPUT_SHAPE)
+
+        async def go():
+            async with ReplicaFleet(spec, fast_config(replicas=1)) as fleet:
+                return [await fleet.submit(x) for x in xs]
+
+        for reply, x in zip(run(go()), xs):
+            assert isinstance(reply, Ok)
+            assert np.allclose(
+                np.asarray(reply.output, np.float32), sm.forward(x), rtol=1e-6
+            )
+
+    def test_start_failure_raises_not_hangs(self, tmp_path):
+        # a factory pointing at a nonexistent archive can never come up
+        spec = ReplicaSpec(
+            factory=bench_archive_model,
+            factory_kwargs={"path": str(tmp_path / "missing.npz")},
+        )
+
+        async def go():
+            fleet = ReplicaFleet(
+                spec, fast_config(replicas=1, start_timeout_s=5.0)
+            )
+            with pytest.raises(RuntimeError, match="failed to start"):
+                await fleet.start()
+
+        run(go())
+
+
+class TestRestart:
+    def test_killed_replica_restarts_and_serves(self, tmp_path):
+        spec = spec_for(tmp_path)
+
+        async def go():
+            async with ReplicaFleet(spec, fast_config(replicas=2)) as fleet:
+                victim = fleet.replicas[0]
+                first_pid = victim.pid
+                os.kill(first_pid, signal.SIGKILL)
+                # supervision notices, respawns, and the fleet is whole
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    if (
+                        victim.state == READY
+                        and victim.pid != first_pid
+                        and fleet.ready_count == 2
+                    ):
+                        break
+                    await asyncio.sleep(0.05)
+                assert victim.state == READY and victim.pid != first_pid
+                assert fleet.supervisor.restarts >= 1
+                assert victim.generation == 2
+                # and requests still resolve Ok on the new process
+                reply = await fleet.submit(
+                    demo_inputs(1, BENCH_INPUT_SHAPE)[0]
+                )
+                assert isinstance(reply, Ok)
+
+        run(go())
+
+    def test_requests_survive_kill_under_load(self, tmp_path):
+        """Kill a replica while requests stream: every submit resolves
+        typed, and the overall ok-rate stays high (the survivor absorbs
+        the traffic, retries cover the in-flight casualties)."""
+        spec = spec_for(tmp_path)
+
+        async def go():
+            async with ReplicaFleet(spec, fast_config(replicas=2)) as fleet:
+                xs = demo_inputs(16, BENCH_INPUT_SHAPE)
+                statuses = []
+
+                async def load():
+                    for i in range(60):
+                        reply = await fleet.submit(xs[i % len(xs)])
+                        statuses.append(reply.status)
+
+                task = asyncio.ensure_future(load())
+                await asyncio.sleep(0.1)
+                os.kill(fleet.replicas[1].pid, signal.SIGKILL)
+                await task
+                return statuses
+
+        statuses = run(go())
+        assert len(statuses) == 60  # zero silent drops
+        ok = statuses.count("ok")
+        assert ok / len(statuses) >= 0.9
+
+
+class TestDegradedFleet:
+    def test_replica_on_damaged_archive_serves_with_report(self, tmp_path):
+        from repro.resilience.chaos import corrupt_archive
+
+        path = save_bench_archive(tmp_path / "fleet.npz")
+        corrupt_archive(path, seed=3)
+        spec = ReplicaSpec(
+            factory=bench_archive_model,
+            factory_kwargs={"path": str(path), "on_fault": "zero"},
+        )
+
+        async def go():
+            async with ReplicaFleet(spec, fast_config(replicas=1)) as fleet:
+                return await fleet.submit(demo_inputs(1, BENCH_INPUT_SHAPE)[0])
+
+        reply = run(go())
+        assert isinstance(reply, Ok)
+        assert reply.degraded and "dense_1" in reply.degraded
+        assert reply.degraded["dense_1"]["action"].startswith("zero-fill")
+
+    def test_raise_policy_on_damaged_archive_fails_typed(self, tmp_path):
+        from repro.resilience.chaos import corrupt_archive
+
+        path = save_bench_archive(tmp_path / "fleet.npz")
+        corrupt_archive(path, seed=3)
+        spec = ReplicaSpec(
+            factory=bench_archive_model,
+            factory_kwargs={"path": str(path), "on_fault": "raise"},
+        )
+
+        async def go():
+            async with ReplicaFleet(
+                spec, fast_config(replicas=1, max_attempts=2)
+            ) as fleet:
+                return await fleet.submit(demo_inputs(1, BENCH_INPUT_SHAPE)[0])
+
+        reply = run(go())
+        # the decode raises in the worker: typed Failed, not a hang
+        assert reply.status == "failed"

@@ -1,13 +1,15 @@
-"""ServedModel: archive wiring, cache keys, and bit-identity."""
+"""ServedModel: archive wiring, cache keys, bit-identity, degradation."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.core.errors import CodecError, IntegrityError
 from repro.core.model_store import compress_model
 from repro.nn.layers import Dense, ReLU, Softmax
 from repro.nn.sequential import Sequential
+from repro.resilience.inject import BitFlipInjector
 from repro.serve.cache import DecodedWeightCache
 from repro.serve.model import ServedModel, decoded_weight_key
 
@@ -92,6 +94,96 @@ class TestBitIdentity:
         xs = inputs(6)
         for a, b in zip(sm_tight.forward_batch(xs), sm_roomy.forward_batch(xs)):
             assert np.array_equal(a, b)
+
+
+def damaged_archive(raw_fallback: bool = False, seed: int = 3):
+    """Compress the mlp, then bit-flip dense_1's payload in place."""
+    archive = compress_model(
+        mlp(), {"dense_1": 5.0}, codec="linefit", raw_fallback=raw_fallback
+    )
+    payload, shape = archive.compressed["dense_1"]
+    archive.compressed["dense_1"] = (
+        BitFlipInjector(seed=seed, ber=1e-3).corrupt_bytes(payload),
+        shape,
+    )
+    return archive
+
+
+class TestDegradedMode:
+    def test_default_policy_raises_on_damage(self):
+        sm = ServedModel(mlp(), damaged_archive(), input_shape=(12,))
+        with pytest.raises(CodecError):
+            sm.forward(inputs(1)[0])
+        assert sm.damage == {}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="degradation policy"):
+            ServedModel(mlp(), damaged_archive(), on_fault="explode")
+
+    def test_zero_policy_serves_with_damage_report(self):
+        sm = ServedModel(
+            mlp(), damaged_archive(), input_shape=(12,), on_fault="zero"
+        )
+        out = sm.forward(inputs(1)[0])
+        assert out.shape == (5,) and np.all(np.isfinite(out))
+        assert "dense_1" in sm.damage
+        report = sm.damage["dense_1"]
+        assert report["action"].startswith("zero-fill")
+        assert "error" in report
+        # the salvage path carries the structured DamageReport fields
+        if "salvaged" in report["action"]:
+            assert report["damaged_segments"] >= 1
+            assert report["num_segments"] > report["damaged_segments"]
+
+    def test_zero_policy_output_matches_archive_apply(self):
+        """ServedModel degradation == the established archive restore
+        degradation: same damaged bytes, same salvaged weights."""
+        archive = damaged_archive()
+        sm = ServedModel(mlp(), archive, input_shape=(12,), on_fault="zero")
+        reference = mlp()
+        archive.apply(reference, on_fault="zero")
+        for x in inputs(3):
+            assert np.array_equal(sm.forward(x), reference.forward(x[None])[0])
+
+    def test_raw_policy_restores_fallback_exactly(self):
+        pristine = mlp()
+        sm = ServedModel(
+            mlp(),
+            damaged_archive(raw_fallback=True),
+            input_shape=(12,),
+            on_fault="raw",
+        )
+        for x in inputs(3):
+            assert np.array_equal(sm.forward(x), pristine.forward(x[None])[0])
+        assert sm.damage["dense_1"]["action"] == "raw-fallback"
+
+    def test_raw_policy_without_fallback_raises(self):
+        sm = ServedModel(
+            mlp(),
+            damaged_archive(raw_fallback=False),
+            input_shape=(12,),
+            on_fault="raw",
+        )
+        with pytest.raises(IntegrityError, match="no.*raw fallback"):
+            sm.forward(inputs(1)[0])
+
+    def test_damage_recorded_once_across_forwards(self):
+        sm = ServedModel(
+            mlp(),
+            damaged_archive(),
+            cache=DecodedWeightCache(max_bytes=8),  # force re-decode each time
+            input_shape=(12,),
+            on_fault="zero",
+        )
+        a = sm.forward(inputs(1)[0])
+        b = sm.forward(inputs(1)[0])
+        assert np.array_equal(a, b)
+        assert list(sm.damage) == ["dense_1"]
+
+    def test_pristine_archive_reports_no_damage(self):
+        sm = served()
+        sm.forward(inputs(1)[0])
+        assert sm.damage == {}
 
 
 class TestKeys:

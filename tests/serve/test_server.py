@@ -11,7 +11,7 @@ import pytest
 from repro.runtime.pool import RunPolicy
 from repro.serve.demo import BENCH_INPUT_SHAPE, bench_model, demo_inputs
 from repro.serve.replies import DeadlineExceeded, Failed, Ok, Overloaded
-from repro.serve.server import reply_to_doc, request_many, serve_tcp
+from repro.serve.server import doc_to_reply, reply_to_doc, request_many, serve_tcp
 from repro.serve.service import InferenceService, ServeConfig
 
 
@@ -19,11 +19,11 @@ def run(coro):
     return asyncio.run(coro)
 
 
-async def with_server(config, body):
+async def with_server(config, body, **serve_kwargs):
     """Start service + TCP server, run ``body(port)``, tear down."""
     svc = InferenceService(bench_model(), config)
     async with svc:
-        server = await serve_tcp(svc)
+        server = await serve_tcp(svc, **serve_kwargs)
         port = server.sockets[0].getsockname()[1]
         try:
             return await body(port)
@@ -123,6 +123,132 @@ class TestWireErrors:
         assert docs[0]["executed"] is False
 
 
+class TestLineLimits:
+    def test_large_request_line_within_default_limit_succeeds(self):
+        """A >64 KiB request line — past asyncio's 64 KiB default stream
+        limit, which used to kill the connection with LimitOverrunError —
+        roundtrips fine under the service's 1 MiB default."""
+        # 8192 float32 values JSON-encode to ~100 KiB
+        big = np.zeros(BENCH_INPUT_SHAPE, np.float32)
+        filler = [0.123456] * 8192
+
+        async def body(port):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port, limit=1 << 20
+            )
+            doc = {"id": 7, "input": big.tolist(), "padding": filler}
+            payload = json.dumps(doc).encode() + b"\n"
+            assert len(payload) > 64 * 1024  # past the asyncio default
+            writer.write(payload)
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            writer.close()
+            await writer.wait_closed()
+            return json.loads(line)
+
+        doc = run(with_server(ServeConfig(policy=RunPolicy(timeout=None)), body))
+        assert doc["status"] == "ok" and doc["id"] == 7
+
+    def test_oversized_line_failed_reply_connection_survives(self):
+        """A line past max_line_bytes is dropped with a typed ``failed``
+        (id null — the id was inside the bytes we refused to buffer) and
+        the *same connection* keeps serving."""
+        x = np.zeros(BENCH_INPUT_SHAPE, np.float32)
+
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            huge = json.dumps(
+                {"id": 1, "input": x.tolist(), "padding": "x" * 8192}
+            ).encode()
+            writer.write(huge + b"\n")
+            writer.write(json.dumps({"id": 2, "input": x.tolist()}).encode() + b"\n")
+            await writer.drain()
+            lines = [
+                json.loads(await asyncio.wait_for(reader.readline(), timeout=10.0))
+                for _ in range(2)
+            ]
+            writer.close()
+            await writer.wait_closed()
+            return lines
+
+        first, second = run(
+            with_server(
+                ServeConfig(policy=RunPolicy(timeout=None)),
+                body,
+                max_line_bytes=4096,
+            )
+        )
+        assert first["status"] == "failed" and first["id"] is None
+        assert "max_line_bytes" in first["error"]
+        assert second["status"] == "ok" and second["id"] == 2
+
+    def test_oversized_line_at_eof_still_answered(self):
+        """Client sends an oversized line and half-closes: the discard
+        loop must not spin on EOF, and the typed reply still goes out."""
+
+        async def body(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"x" * 8192 + b"\n")
+            writer.write_eof()
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            writer.close()
+            await writer.wait_closed()
+            return json.loads(line)
+
+        doc = run(with_server(ServeConfig(), body, max_line_bytes=1024))
+        assert doc["status"] == "failed" and doc["id"] is None
+
+
+class TestClientResilience:
+    def test_request_many_server_closes_mid_stream_raises_typed(self):
+        """The server vanishing mid-conversation must surface as a
+        ConnectionError from request_many — not a hang, not a partial
+        silent return (zero silent drops holds client-side too)."""
+
+        async def scenario():
+            async def handler(reader, writer):
+                # answer exactly one request, then slam the connection
+                line = await reader.readline()
+                doc = json.loads(line)
+                writer.write(
+                    json.dumps(
+                        {"id": doc["id"], "status": "ok", "output": [0.0],
+                         "latency_s": 0.0, "batch_size": 1}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            xs = demo_inputs(5, BENCH_INPUT_SHAPE)
+            try:
+                with pytest.raises(ConnectionError, match="[0-9]+/5"):
+                    await asyncio.wait_for(
+                        request_many("127.0.0.1", port, xs), timeout=10.0
+                    )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_request_many_refuses_connection_to_nothing(self):
+        async def scenario():
+            # bind-and-release to find a port with nothing listening
+            server = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            with pytest.raises(OSError):
+                await request_many(
+                    "127.0.0.1", port, demo_inputs(1, BENCH_INPUT_SHAPE)
+                )
+
+        run(scenario())
+
+
 class TestReplyDocs:
     def test_every_reply_type_serializes(self):
         docs = [
@@ -143,3 +269,27 @@ class TestReplyDocs:
     def test_unknown_reply_type_rejected(self):
         with pytest.raises(TypeError):
             reply_to_doc("not a reply")
+
+    def test_doc_to_reply_inverts_reply_to_doc(self):
+        replies = [
+            Ok(np.ones(2, np.float32), latency_s=0.1, batch_size=2),
+            Ok(
+                np.ones(2, np.float32),
+                latency_s=0.1,
+                batch_size=2,
+                degraded={"dense_1": {"action": "zero-fill"}},
+            ),
+            Overloaded(queue_depth=9),
+            DeadlineExceeded(deadline_s=1.0, waited_s=1.5, executed=True),
+            Failed(error="nope"),
+        ]
+        for r in replies:
+            back = doc_to_reply(json.loads(json.dumps(reply_to_doc(r))))
+            assert back.status == r.status
+            if isinstance(r, Ok):
+                assert np.allclose(back.output, r.output)
+                assert back.degraded == r.degraded
+
+    def test_doc_to_reply_rejects_unknown_status(self):
+        with pytest.raises(ValueError):
+            doc_to_reply({"status": "weird"})
