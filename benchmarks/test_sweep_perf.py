@@ -1,0 +1,189 @@
+"""Perf smoke: guard the sharded sweep runtime's coordination costs.
+
+``BENCH_sweep.json`` is the committed baseline: wall-clock for a
+12-task bench grid on the recording host under the in-process pool and
+under the sharded runtime, plus the same calibration spin constant the
+NoC baseline uses.  Three guards:
+
+* a cold one-worker sharded run stays within its machine-scaled budget
+  *and* within ``max_overhead_vs_serial`` of a plain serial
+  ``run_tasks`` measured in the same session — lease files, heartbeats,
+  done markers and the assembly pass must stay cheap;
+* two cold workers beat one by ``min_speedup_vs_one_worker``.  This is
+  only physically expressible on multi-core hardware, and the recording
+  host exposed a single CPU (measured 0.95x there), so the assertion is
+  enforced when ``os.cpu_count() >= 2`` and skipped otherwise — the
+  coordination and byte-identity checks still run everywhere;
+* resuming a completed sweep costs at most ``max_fraction_of_cold`` of
+  the cold run: every shard must short-circuit on its done marker.
+
+Every timed arm also cross-checks byte identity of the produced result
+set against the serial reference — a sweep runtime that got faster by
+dropping or reordering results is not faster.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import ResultCache, run_tasks
+from repro.runtime.grids import bench_grid, bench_point
+from repro.runtime.shard import results_digest, run_sharded
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_sweep.json"
+BASELINE = json.loads(BASELINE_PATH.read_text())
+
+#: fail when an arm runs more than this factor slower than the
+#: committed (machine-scaled) baseline
+MAX_SLOWDOWN = 2.0
+
+
+def _spin(n: int = 2_000_000) -> int:
+    acc = 0
+    for i in range(n):
+        acc += i * i
+    return acc
+
+
+@pytest.fixture(scope="module")
+def machine_scale() -> float:
+    """This host's speed relative to the baseline-recording host."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _spin()
+        best = min(best, time.perf_counter() - t0)
+    return best / BASELINE["calibration_seconds"]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    g = BASELINE["grid"]
+    # warm numpy's kernels and allocator before anything is timed: the
+    # first arm to run otherwise pays first-touch costs the later arms
+    # don't, skewing the overhead ratio
+    bench_point(seed=0, n=g["n"], reps=2)
+    return bench_grid(size=g["size"], n=g["n"], reps=g["reps"])
+
+
+def _cold_sharded(grid, root: Path, workers: int) -> tuple[float, ResultCache]:
+    cache = ResultCache(root=root, enabled=True)
+    t0 = time.perf_counter()
+    run_sharded(
+        grid,
+        BASELINE["grid"]["shards"],
+        cache=cache,
+        workers=workers,
+        lease_ttl=10.0,
+        poll=0.01,
+    )
+    return time.perf_counter() - t0, cache
+
+
+@pytest.fixture(scope="module")
+def cold_one(grid, tmp_path_factory):
+    """One cold one-worker sharded run, shared by the tests below."""
+    seconds, cache = _cold_sharded(
+        grid, tmp_path_factory.mktemp("sweep-one"), workers=1
+    )
+    return {"seconds": seconds, "cache": cache}
+
+
+def _assert_within_budget(name, elapsed, machine_scale):
+    budget = BASELINE["benchmarks"][name]["seconds"] * machine_scale * MAX_SLOWDOWN
+    assert elapsed <= budget, (
+        f"{name}: {elapsed:.3f}s exceeds {budget:.3f}s "
+        f"(committed baseline {BASELINE['benchmarks'][name]['seconds']}s "
+        f"x machine scale {machine_scale:.2f} x slowdown guard {MAX_SLOWDOWN}) — "
+        "the sharded sweep runtime has regressed; if the slowdown is "
+        "intentional, re-record benchmarks/BENCH_sweep.json"
+    )
+
+
+def test_sweep_one_worker_overhead(benchmark, machine_scale, grid, cold_one, tmp_path):
+    """Sharding one worker over N shards must cost ~nothing vs serial."""
+    serial_cache = ResultCache(root=tmp_path / "serial", enabled=True)
+    t0 = time.perf_counter()
+    benchmark.pedantic(
+        lambda: run_tasks(grid, jobs=1, cache=serial_cache), rounds=1, iterations=1
+    )
+    serial = time.perf_counter() - t0
+
+    _assert_within_budget("sweep_one_worker_cold", cold_one["seconds"], machine_scale)
+    assert results_digest(grid, cold_one["cache"]) == results_digest(
+        grid, serial_cache
+    ), "sharded one-worker result set is not byte-identical to serial"
+
+    max_overhead = BASELINE["benchmarks"]["sweep_one_worker_cold"][
+        "max_overhead_vs_serial"
+    ]
+    assert cold_one["seconds"] <= serial * max_overhead, (
+        f"one-worker sharded run {cold_one['seconds']:.3f}s is more than "
+        f"{max_overhead}x the serial run {serial:.3f}s measured on this host — "
+        "lease/marker/assembly overhead has regressed"
+    )
+
+
+def test_sweep_two_worker_speedup(benchmark, machine_scale, grid, cold_one, tmp_path):
+    """Two cold workers over a shared lease dir approach 2x on 2+ cores."""
+    t0 = time.perf_counter()
+    two_cache = benchmark.pedantic(
+        lambda: _cold_sharded(grid, tmp_path / "two-a", workers=2)[1],
+        rounds=1,
+        iterations=1,
+    )
+    two = time.perf_counter() - t0
+
+    _assert_within_budget("sweep_two_worker_cold", two, machine_scale)
+    assert results_digest(grid, two_cache) == results_digest(
+        grid, cold_one["cache"]
+    ), "two-worker result set is not byte-identical to one-worker"
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(
+            "two-worker speedup needs >=2 CPUs to be physically expressible; "
+            "coordination and byte identity verified above"
+        )
+
+    min_speedup = BASELINE["benchmarks"]["sweep_two_worker_cold"][
+        "min_speedup_vs_one_worker"
+    ]
+    speedup = cold_one["seconds"] / two
+    if speedup < min_speedup:
+        # one retry absorbs scheduler noise on loaded CI runners: re-time
+        # both arms back to back and take the cleaner ratio
+        one_r, _ = _cold_sharded(grid, tmp_path / "one-b", workers=1)
+        two_r, _ = _cold_sharded(grid, tmp_path / "two-b", workers=2)
+        speedup = max(speedup, one_r / two_r)
+    assert speedup >= min_speedup, (
+        f"two cold workers are only {speedup:.2f}x faster than one "
+        f"(target {min_speedup}x, {os.cpu_count()} CPUs) — shard claiming is "
+        "serializing the workers; if intentional, re-record "
+        "benchmarks/BENCH_sweep.json"
+    )
+
+
+def test_sweep_resume_overhead(grid, cold_one):
+    """Re-running a finished sweep must short-circuit on done markers."""
+    t0 = time.perf_counter()
+    run_sharded(
+        grid,
+        BASELINE["grid"]["shards"],
+        cache=cold_one["cache"],
+        workers=1,
+        lease_ttl=10.0,
+        poll=0.01,
+    )
+    resume = time.perf_counter() - t0
+
+    max_fraction = BASELINE["benchmarks"]["sweep_resume"]["max_fraction_of_cold"]
+    assert resume <= cold_one["seconds"] * max_fraction, (
+        f"resuming a completed sweep took {resume:.3f}s — more than "
+        f"{max_fraction:.0%} of the {cold_one['seconds']:.3f}s cold run; "
+        "done markers are not short-circuiting shard work"
+    )

@@ -10,6 +10,7 @@
 | ``fig10_tradeoff``  | Fig. 10        | accuracy vs latency & energy, 6 models   |
 | ``table3_quantized``| Tab. III       | compression on top of int8 quantization  |
 | ``fault_campaign``  | (robustness)   | accuracy under bit errors, by storage arm|
+| ``fig_scale_matrix``| (scaling)      | compression on/off across NoC topologies |
 
 Each module exposes ``run(fast=False)`` (structured results),
 ``render(results)`` (paper-style text) and ``main()`` (CLI).  The
@@ -24,6 +25,7 @@ from . import (
     fig3_entropy,
     fig9_sensitivity,
     fig10_tradeoff,
+    fig_scale_matrix,
     table1_layers,
     table2_compression,
     table3_quantized,
@@ -38,6 +40,7 @@ ALL_EXPERIMENTS = {
     "fig10": fig10_tradeoff,
     "tab3": table3_quantized,
     "fig_fault_campaign": fault_campaign,
+    "fig_scale_matrix": fig_scale_matrix,
 }
 
 __all__ = [
@@ -47,6 +50,7 @@ __all__ = [
     "fig3_entropy",
     "fig9_sensitivity",
     "fig10_tradeoff",
+    "fig_scale_matrix",
     "table1_layers",
     "table2_compression",
     "table3_quantized",

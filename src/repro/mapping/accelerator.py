@@ -32,6 +32,7 @@ from ..nn.arch import ArchSpec, LayerKind, LayerSpec
 from ..noc.memory_if import DramConfig, MemoryInterface, ReadJob
 from ..noc.mesh import Mesh
 from ..noc.pe import PEConfig, PETask, ProcessingElement
+from ..noc.topology import ChipletMesh
 from ..noc.simulator import NocSimulator
 from ..noc.transaction import LatencyComponents, TransactionModel
 from .schedule import CompressionEffect, LayerSchedule, build_schedule
@@ -54,6 +55,15 @@ class AcceleratorConfig:
     mesh_height: int = 4
     buffer_depth: int = 4
     pipeline_depth: int = 2
+    #: routing algorithm (see ``repro.noc.routing.ROUTING_ALGORITHMS``)
+    routing: str = "xy"
+    #: "mesh" (a flat ``mesh_width x mesh_height`` die) or "chiplet" (a
+    #: Simba-like package of ``chiplet_size``-square dies tiling the
+    #: same ``mesh_width x mesh_height`` node grid, with ``d2d_extra``
+    #: additional cycles on every die-to-die link)
+    topology: str = "mesh"
+    chiplet_size: int = 4
+    d2d_extra: int = 2
     dram: DramConfig = field(default_factory=DramConfig)
     pe: PEConfig = field(default_factory=PEConfig)
     energy: EnergyParams = field(default_factory=EnergyParams)
@@ -109,7 +119,37 @@ class Accelerator:
 
     def _make_mesh(self) -> Mesh:
         c = self.config
-        return Mesh(c.mesh_width, c.mesh_height, c.buffer_depth, c.pipeline_depth)
+        if c.topology == "chiplet":
+            if (
+                c.mesh_width % c.chiplet_size
+                or c.mesh_height % c.chiplet_size
+            ):
+                raise ValueError(
+                    f"chiplet topology needs mesh dims divisible by "
+                    f"chiplet_size={c.chiplet_size}, got "
+                    f"{c.mesh_width}x{c.mesh_height}"
+                )
+            return ChipletMesh(
+                c.mesh_width // c.chiplet_size,
+                c.mesh_height // c.chiplet_size,
+                c.chiplet_size,
+                c.chiplet_size,
+                c.buffer_depth,
+                c.pipeline_depth,
+                routing=c.routing,
+                d2d_extra=c.d2d_extra,
+            )
+        if c.topology != "mesh":
+            raise ValueError(
+                f"unknown topology {c.topology!r}; use 'mesh' or 'chiplet'"
+            )
+        return Mesh(
+            c.mesh_width,
+            c.mesh_height,
+            c.buffer_depth,
+            c.pipeline_depth,
+            routing=c.routing,
+        )
 
     # -- schedule construction ------------------------------------------------
     def schedule_layer(

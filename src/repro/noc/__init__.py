@@ -14,6 +14,7 @@ from .nic import NetworkInterface
 from .pe import PEConfig, PETask, ProcessingElement
 from .router import Router
 from .simulator import Node, NocSimulator, NocStats
+from .topology import ChipletMesh, build_mesh
 
 __all__ = [
     "FLIT_BYTES",
@@ -34,4 +35,6 @@ __all__ = [
     "Node",
     "NocSimulator",
     "NocStats",
+    "ChipletMesh",
+    "build_mesh",
 ]

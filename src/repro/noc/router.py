@@ -75,6 +75,13 @@ class Router:
         self.y = node_id // width
         self.buffer_depth = buffer_depth
         self.pipeline_depth = pipeline_depth
+        #: per-input-port pipeline latency, defaulting to the uniform
+        #: ``pipeline_depth``.  Topologies with heterogeneous links
+        #: (chiplet packages, where a die-to-die crossing costs extra
+        #: cycles) raise individual entries; a flit arriving on port
+        #: ``p`` becomes switch-eligible ``port_pipeline_depth[p]``
+        #: cycles after acceptance.
+        self.port_pipeline_depth: list[int] = [pipeline_depth] * 5
         self.num_vcs = num_vcs
         if routing is None:
             from .routing import XYRouting
@@ -181,7 +188,7 @@ class Router:
                 f"router {self.node_id}: buffer overflow on port "
                 f"{PORT_NAMES[in_port]} vc{flit.vc} (credit protocol violated)"
             )
-        ready = cycle + self.pipeline_depth
+        ready = cycle + self.port_pipeline_depth[in_port]
         flit.ready_cycle = ready
         buf = self.buffers[in_port][flit.vc]
         if not buf:

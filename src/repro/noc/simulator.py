@@ -225,7 +225,10 @@ class NocSimulator:
                             n,
                             nr,
                             nr.buffers[OPPOSITE[port]],
-                            nr.pipeline_depth,
+                            # arrival latency is a property of the
+                            # neighbor's *input* port (chiplet-boundary
+                            # links cost extra cycles)
+                            nr.port_pipeline_depth[OPPOSITE[port]],
                             nr.buffer_depth,
                             nr.stats,
                             (rid, port),  # link_flits key
@@ -283,7 +286,7 @@ class NocSimulator:
             buf = router.buffers[LOCAL][flit.vc]
             if len(buf) < router.buffer_depth:
                 queue.popleft()
-                ready = cycle + router.pipeline_depth
+                ready = cycle + router.port_pipeline_depth[LOCAL]
                 flit.ready_cycle = ready
                 if not buf:
                     router._occupied_lanes += 1

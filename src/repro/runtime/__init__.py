@@ -16,7 +16,11 @@ execute:
   the counters experiments print so you can see what was skipped;
 * :class:`RunPolicy` opts a :func:`run_tasks` call into fault handling:
   per-task timeouts, bounded retry with backoff, ``BrokenProcessPool``
-  recovery via serial re-dispatch, and partial-result salvage.
+  recovery via serial re-dispatch, and partial-result salvage;
+* :func:`run_sharded` (or ``run_tasks(shards=...)``) drains a keyed
+  grid cooperatively across processes via lease-claimed shard ranges
+  under the cache dir — resumable after ``kill -9``, convergent to the
+  exact serial result set (see :mod:`repro.runtime.shard`).
 """
 
 from .cache import MISS, ResultCache, results_cache_enabled
@@ -28,6 +32,26 @@ from .keys import (
     result_key,
 )
 from .pool import GridTask, RunPolicy, Timings, default_jobs, run_tasks
+
+_SHARD_EXPORTS = {
+    "LeaseManager",
+    "ShardStore",
+    "grid_id",
+    "run_sharded",
+    "shard_ranges",
+}
+
+
+def __getattr__(name: str):
+    # lazy: ``python -m repro.runtime.shard`` imports this package first,
+    # and an eager ``from .shard import ...`` here would double-import
+    # the very module runpy is about to execute
+    if name in _SHARD_EXPORTS:
+        from . import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "MISS",
@@ -43,4 +67,9 @@ __all__ = [
     "Timings",
     "default_jobs",
     "run_tasks",
+    "LeaseManager",
+    "ShardStore",
+    "grid_id",
+    "run_sharded",
+    "shard_ranges",
 ]

@@ -1,0 +1,80 @@
+"""Named sweep grids for the shard-runner CLI and benchmarks.
+
+The sharded runner (:mod:`repro.runtime.shard`) coordinates *any* keyed
+grid, but its CLI, the CI smoke, and the sweep benchmark need concrete
+grids that are deterministic (so digests agree across processes),
+self-contained (no dataset downloads), and cost-tunable (so the
+benchmark can size a task to ~100 ms while the smoke stays instant).
+
+Each task runs a miniature of the paper's per-layer pipeline on
+synthetic weights — delta-threshold duplicate collapsing, histogram
+entropy of the surviving values, and an energy-flavored checksum —
+purely in NumPy, seeded by the task index.  The result dict is small,
+JSON-serializable, and bit-stable, so cached entries are byte-identical
+wherever and whenever the task executes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .keys import result_key
+from .pool import GridTask
+
+__all__ = ["bench_point", "bench_grid", "demo_grid"]
+
+
+def bench_point(seed: int, n: int, reps: int) -> dict:
+    """One deterministic grid point: compress-ish work on fake weights.
+
+    ``n`` scales the array, ``reps`` the repeated passes — together the
+    CPU-cost knob.  Everything derives from ``seed`` through a fixed
+    RNG stream, so the result (and hence the cached entry bytes) is a
+    pure function of the arguments.
+    """
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal(n).astype(np.float32)
+    delta = 0.02
+    kept = zeros = entropy = checksum = 0.0
+    for _ in range(reps):
+        # delta-collapse: values within +/-delta of a codebook level
+        # snap onto it (the paper's lossy dedup, one level per pass)
+        levels = np.round(weights / (2 * delta)) * (2 * delta)
+        survivors = np.unique(levels)
+        kept += float(survivors.size)
+        zeros += float(np.count_nonzero(levels == 0.0))
+        hist, _ = np.histogram(levels, bins=64)
+        p = hist[hist > 0] / levels.size
+        entropy += float(-(p * np.log2(p)).sum())
+        checksum += float(np.abs(levels).sum())
+        weights = np.tanh(levels * 1.003)  # perturb for the next pass
+    return {
+        "seed": int(seed),
+        "n": int(n),
+        "reps": int(reps),
+        "kept": kept,
+        "zeros": zeros,
+        "entropy": entropy,
+        "checksum": checksum,
+    }
+
+
+def _grid(kind: str, size: int, n: int, reps: int) -> list[GridTask]:
+    return [
+        GridTask(
+            fn=bench_point,
+            args=(seed, n, reps),
+            key=result_key(kind, seed=seed, n=n, reps=reps),
+        )
+        for seed in range(size)
+    ]
+
+
+def bench_grid(size: int = 32, n: int = 200_000, reps: int = 12) -> list[GridTask]:
+    """The sweep-benchmark grid: ``size`` points of tunable real work."""
+    return _grid("shard-bench", size, n, reps)
+
+
+def demo_grid(size: int = 8, n: int = 4_096, reps: int = 2) -> list[GridTask]:
+    """A near-instant grid for smokes and the CLI default."""
+    return _grid("shard-demo", size, n, reps)

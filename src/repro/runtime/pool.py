@@ -392,13 +392,35 @@ def run_tasks(
     cache: ResultCache | None = None,
     timings: Timings | None = None,
     policy: RunPolicy | None = None,
+    *,
+    shards: int | None = None,
+    shard_workers: int = 1,
 ) -> list[Any]:
     """Run a grid, in order, with optional parallelism and caching.
 
     ``policy`` opts into fault handling (timeouts, retries, salvage);
     see :class:`RunPolicy`.  Without one, the first exception propagates
     and no recovery is attempted — the strict historical contract.
+
+    ``shards`` switches to the resumable sharded runtime
+    (:func:`repro.runtime.shard.run_sharded`): the grid is split into
+    that many lease-claimed ranges drained by ``shard_workers``
+    processes, every task must be keyed, and ``cache`` is mandatory —
+    results travel between workers through it.  The returned list (and
+    the cache entry bytes) are identical to a plain serial run.
     """
+    if shards is not None:
+        from .shard import run_sharded  # late: shard imports this module
+
+        return run_sharded(
+            tasks,
+            shards,
+            cache=cache,
+            jobs=1 if jobs is None else max(1, int(jobs)),
+            policy=policy,
+            timings=timings,
+            workers=max(1, int(shard_workers)),
+        )
     timings = timings if timings is not None else Timings()
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     start = time.perf_counter()

@@ -14,6 +14,7 @@ from repro.experiments import (
     ALL_EXPERIMENTS,
     fig2_breakdown,
     fig3_entropy,
+    fig_scale_matrix,
     table1_layers,
     table2_compression,
 )
@@ -25,7 +26,7 @@ class TestRegistry:
     def test_all_artifacts_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig2", "fig3", "tab1", "tab2", "fig9", "fig10", "tab3",
-            "fig_fault_campaign",
+            "fig_fault_campaign", "fig_scale_matrix",
         }
 
     def test_every_experiment_has_run_and_render(self):
@@ -59,6 +60,33 @@ class TestFig2:
         assert len(result.layers) == 7
         text = fig2_breakdown.render(result)
         assert "Fig. 2a" in text and "Fig. 2b" in text
+
+
+class TestScaleMatrix:
+    def test_fast_matrix_compression_wins_on_every_topology(self):
+        points = fig_scale_matrix.run(fast=True)
+        base = {p.scenario: p.result for p in points if p.delta_pct is None}
+        assert set(base) == set(fig_scale_matrix.SCENARIOS)
+        for p in points:
+            if p.delta_pct is None:
+                continue
+            b = base[p.scenario]
+            assert p.result.total_latency.total < b.total_latency.total
+            assert p.result.total_energy.total < b.total_energy.total
+
+    def test_comm_share_grows_with_mesh_size(self):
+        points = fig_scale_matrix.run(fast=True)
+        share = {
+            p.scenario: p.result.total_latency.communication
+            / p.result.total_latency.total
+            for p in points
+            if p.delta_pct is None
+        }
+        assert share["mesh-4x4"] < share["mesh-8x8"] < share["mesh-16x16"]
+
+    def test_render(self):
+        text = fig_scale_matrix.render(fig_scale_matrix.run(fast=True))
+        assert "mesh-16x16" in text and "chiplet-3x3" in text
 
 
 class TestTable2Fast:

@@ -59,14 +59,14 @@ class TestCandidates:
             assert algo.candidates(mesh.routers[5], 5) == [LOCAL]
 
     def test_registry(self):
-        assert set(ROUTING_ALGORITHMS) == {"xy", "yx", "west-first"}
+        assert set(ROUTING_ALGORITHMS) == {"xy", "yx", "west-first", "odd-even"}
 
     def test_mesh_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown routing"):
             Mesh(4, 4, routing="zigzag")
 
 
-@pytest.mark.parametrize("routing", ["xy", "yx", "west-first"])
+@pytest.mark.parametrize("routing", ["xy", "yx", "west-first", "odd-even"])
 class TestDeliveryUnderEachAlgorithm:
     def test_random_traffic_all_delivered(self, routing):
         rng = np.random.default_rng(3)

@@ -4,6 +4,12 @@ evaluation set — addresses a different entry."""
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -100,3 +106,62 @@ class TestResultKey:
     def test_unhashable_ingredient_rejected(self):
         with pytest.raises(TypeError):
             result_key("k", bad=object())
+
+
+class TestCrossProcessDeterminism:
+    """Sharded workers on different hosts must agree on every key.
+
+    That forbids three classic sources of drift: ``PYTHONHASHSEED``
+    (dict iteration order), the process working directory (absolute
+    paths leaking into ingredients), and insertion order of ingredient
+    dicts.  A subprocess recomputes the keys under a different hash
+    seed from a different cwd and must reproduce them bit for bit.
+    """
+
+    _SCRIPT = """
+import json, sys
+import numpy as np
+from repro.runtime import codec_spec, fingerprint_array, result_key
+from repro.core.compression import StorageFormat
+
+weights = np.linspace(-1, 1, 64).astype(np.float32)
+keys = [
+    result_key(
+        "delta-record",
+        weights=fingerprint_array(weights),
+        codec=codec_spec("linefit"),
+        delta_pct=5.0,
+        fmt=StorageFormat(),
+        eval_set="abc123",
+    ),
+    result_key("shard-demo", seed=3, n=4096, reps=2),
+    result_key("nested", cfg={"b": 2, "a": 1, "z": {"y": [1, 2]}}),
+]
+print(json.dumps(keys))
+"""
+
+    def _keys_in_subprocess(self, hashseed: str, cwd: Path) -> list[str]:
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(
+            os.environ, PYTHONPATH=str(src), PYTHONHASHSEED=hashseed
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", self._SCRIPT],
+            capture_output=True, text=True, env=env, cwd=cwd, timeout=120,
+        )
+        assert out.returncode == 0, out.stderr
+        return json.loads(out.stdout)
+
+    def test_keys_survive_hash_seed_and_cwd(self, tmp_path):
+        a_dir = tmp_path / "workdir-a"
+        b_dir = tmp_path / "deeply" / "nested" / "workdir-b"
+        b_dir.mkdir(parents=True)
+        a_dir.mkdir()
+        a = self._keys_in_subprocess("0", a_dir)
+        b = self._keys_in_subprocess("4242", b_dir)
+        assert a == b
+
+    def test_ingredient_dict_order_irrelevant(self):
+        assert result_key("k", a=1, b=2, c={"x": 1, "y": 2}) == result_key(
+            "k", b=2, c={"y": 2, "x": 1}, a=1
+        )
