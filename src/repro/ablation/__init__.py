@@ -1,0 +1,59 @@
+"""Ablation harness: feature-flag every design choice and measure it.
+
+DESIGN.md §4 lists the paper's design-choice ablations; several shipped
+subsystems additionally carry "must be identical when toggled"
+contracts (the cycle-skip fast path, the result cache, streamed decode,
+CRC framing).  This package turns both into one measured, standing
+harness:
+
+* :mod:`repro.ablation.registry` — :class:`Feature` /
+  :class:`FeatureRegistry` / :class:`AblationConfig`: every feature
+  names its toggle point and its expected delta class (``identical``
+  vs ``measured``);
+* :mod:`repro.ablation.toggles` — the registered features, each driving
+  the subsystem's real toggle hook;
+* :mod:`repro.ablation.runner` — baseline-vs-variant execution over the
+  grid runner (pool / cache / shard-aware) emitting a delta table
+  (JSON, CSV, markdown) with per-comparison wall-time cost, plus the
+  zero-delta assertion :meth:`AblationReport.check_identical`.
+
+``python -m repro.experiments fig_ablation`` runs the whole table;
+``tests/ablation/test_smoke.py`` keeps the ``identical`` class pinned
+at bitwise zero in tier-1.
+"""
+
+from .registry import (
+    IDENTICAL,
+    MEASURED,
+    AblationConfig,
+    AblationError,
+    DuplicateFeatureError,
+    Feature,
+    FeatureRegistry,
+    UnknownFeatureError,
+)
+from .runner import (
+    AblationReport,
+    ArmCost,
+    DeltaRow,
+    IdenticalDeltaViolation,
+    run_ablation,
+)
+from .toggles import DEFAULT_FEATURES
+
+__all__ = [
+    "IDENTICAL",
+    "MEASURED",
+    "AblationConfig",
+    "AblationError",
+    "AblationReport",
+    "ArmCost",
+    "DEFAULT_FEATURES",
+    "DeltaRow",
+    "DuplicateFeatureError",
+    "Feature",
+    "FeatureRegistry",
+    "IdenticalDeltaViolation",
+    "UnknownFeatureError",
+    "run_ablation",
+]

@@ -1,0 +1,209 @@
+"""Feature registry and ablation configuration.
+
+Every design choice the repo ships (DESIGN.md §4 and the subsystems
+grown since) is registered here as a :class:`Feature` naming its toggle
+point and its **expected delta class**:
+
+* ``identical`` — turning the feature off must change *nothing* about
+  the computed results (the cycle-skip fast path, the result cache,
+  streamed decode, CRC framing's decoded bytes, the vectorized
+  segmenter).  Any nonzero delta on an ``identical`` feature is a
+  correctness bug, which makes the ablation harness a standing bug
+  detector: :meth:`repro.ablation.runner.AblationReport.check_identical`
+  raises on the first violation.
+* ``measured`` — the delta *is* the result (the weak-monotonicity rule,
+  storage format, routing algorithm, flit vs transaction NoC model,
+  conv traffic model, memory scheduling, streamed-decode timing).
+
+A :class:`Feature` carries its runner: a picklable module-level
+callable ``runner(workload, on, fast) -> dict`` returning a flat metric
+mapping (floats, ints, or digest strings).  The harness executes the
+baseline arm (``on = default_on``) and the ablated arm (``on = not
+default_on``) per workload and diffs the two mappings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+__all__ = [
+    "IDENTICAL",
+    "MEASURED",
+    "AblationError",
+    "DuplicateFeatureError",
+    "UnknownFeatureError",
+    "Feature",
+    "FeatureRegistry",
+    "AblationConfig",
+]
+
+IDENTICAL = "identical"
+MEASURED = "measured"
+_DELTA_CLASSES = (IDENTICAL, MEASURED)
+
+
+class AblationError(Exception):
+    """Base error of the ablation layer."""
+
+
+class DuplicateFeatureError(AblationError):
+    """Two registrations claimed the same feature name."""
+
+
+class UnknownFeatureError(AblationError, KeyError):
+    """A name that matches no registered feature."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; read as a sentence
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class Feature:
+    """One toggleable design choice.
+
+    Parameters
+    ----------
+    name:
+        Registry key, ``<subsystem>.<choice>`` by convention.
+    delta_class:
+        ``"identical"`` or ``"measured"`` (see module docstring).
+    toggle:
+        Human-readable name of the actual toggle point (config field,
+        codec parameter, API flag) the runner flips.
+    runner:
+        Module-level callable ``(workload, on, fast) -> dict`` —
+        module-level so process pools and shard workers can pickle it.
+    workloads:
+        Default workload names this feature is measured on.
+    default_on:
+        The shipped default of the toggle.  The baseline arm runs with
+        ``on = default_on``; the variant arm flips it.
+    """
+
+    name: str
+    delta_class: str
+    description: str
+    toggle: str
+    runner: Callable[[str, bool, bool], dict]
+    workloads: tuple[str, ...]
+    default_on: bool = True
+
+    def __post_init__(self) -> None:
+        if self.delta_class not in _DELTA_CLASSES:
+            raise AblationError(
+                f"feature {self.name!r}: delta_class must be one of "
+                f"{_DELTA_CLASSES}, got {self.delta_class!r}"
+            )
+        if not self.workloads:
+            raise AblationError(f"feature {self.name!r} declares no workloads")
+
+
+class FeatureRegistry:
+    """Name-keyed collection of :class:`Feature` registrations."""
+
+    def __init__(self) -> None:
+        self._features: dict[str, Feature] = {}
+
+    def register(self, feature: Feature) -> Feature:
+        if feature.name in self._features:
+            raise DuplicateFeatureError(
+                f"feature {feature.name!r} is already registered"
+            )
+        self._features[feature.name] = feature
+        return feature
+
+    def get(self, name: str) -> Feature:
+        try:
+            return self._features[name]
+        except KeyError:
+            raise UnknownFeatureError(
+                f"unknown feature {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._features)
+
+    def features(self, delta_class: str | None = None) -> list[Feature]:
+        """Registered features, name-sorted; optionally one class only."""
+        if delta_class is not None and delta_class not in _DELTA_CLASSES:
+            raise AblationError(
+                f"delta_class must be one of {_DELTA_CLASSES}, got {delta_class!r}"
+            )
+        return [
+            self._features[name]
+            for name in self.names()
+            if delta_class is None
+            or self._features[name].delta_class == delta_class
+        ]
+
+    def __iter__(self) -> Iterator[Feature]:
+        return iter(self.features())
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._features
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """What one ablation run covers.
+
+    ``features`` empty means *every* registered feature; ``workloads``
+    empty means each feature's own default workload list.  The config
+    round-trips through JSON (:meth:`to_json` / :meth:`from_json`) so a
+    run's coverage can be persisted next to its delta table.
+    """
+
+    features: tuple[str, ...] = ()
+    workloads: tuple[str, ...] = ()
+    fast: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "features", tuple(self.features))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+
+    def validate(self, registry: FeatureRegistry) -> None:
+        for name in self.features:
+            registry.get(name)  # raises UnknownFeatureError
+
+    def selected(self, registry: FeatureRegistry) -> list[Feature]:
+        """The features this config runs, in registry (name) order."""
+        if not self.features:
+            return registry.features()
+        return [registry.get(name) for name in self.features]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "features": list(self.features),
+                "workloads": list(self.workloads),
+                "fast": self.fast,
+                "extra": self.extra,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "AblationConfig":
+        try:
+            doc = json.loads(payload)
+        except ValueError as exc:
+            raise AblationError(f"unparseable ablation config: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise AblationError(
+                f"ablation config must be a JSON object, got {type(doc).__name__}"
+            )
+        unknown = set(doc) - {"features", "workloads", "fast", "extra"}
+        if unknown:
+            raise AblationError(f"unknown config keys: {sorted(unknown)}")
+        return cls(
+            features=tuple(doc.get("features", ())),
+            workloads=tuple(doc.get("workloads", ())),
+            fast=bool(doc.get("fast", False)),
+            extra=dict(doc.get("extra", {})),
+        )

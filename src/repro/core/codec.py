@@ -13,7 +13,13 @@ NoC to the PEs.  Layout (little-endian), matching
 Coefficients are stored at the format's width: 4 bytes = ``float32``,
 3 bytes = ``float32`` with the low mantissa byte dropped (the default
 8-byte-per-segment format calibrated to the paper's delta=0 CR of 1.21),
-2 bytes = ``float16``.  Lengths are ``uint16``.  The O(1) header and the
+2 bytes = ``float16``.  Lengths are ``uint16``.  The flags byte is
+self-describing: bit 0 selects the int8 weight class and two 2-bit
+fields carry explicit slope/intercept widths (0 = class default, so
+default-format messages are byte-identical to ones written before the
+width bits existed).  Formats the body layout cannot represent fail at
+*encode* time with :class:`CodecError` — historically they encoded fine
+and produced blobs no decoder could parse.  The O(1) header and the
 integrity trailer are excluded from compression-ratio accounting,
 mirroring the paper's three-fields-per-segment cost model.
 
@@ -78,7 +84,60 @@ _CRC_OFFSET = 4 + 1 + 1 + 4
 SEGMENTS_PER_FRAME = 64
 
 _FLAG_INT8 = 0x01
-_KNOWN_FLAGS = _FLAG_INT8
+#: 2-bit coefficient-width codes (0 = class default, 1/2/3 = 2/3/4 bytes)
+_SLOPE_SHIFT = 1
+_INTERCEPT_SHIFT = 3
+_WIDTH_MASK = 0x03
+_KNOWN_FLAGS = (
+    _FLAG_INT8 | (_WIDTH_MASK << _SLOPE_SHIFT) | (_WIDTH_MASK << _INTERCEPT_SHIFT)
+)
+
+_WIDTH_CODES = {2: 1, 3: 2, 4: 3}
+_CODE_WIDTHS = {code: width for width, code in _WIDTH_CODES.items()}
+
+
+def _format_flags(fmt: StorageFormat) -> int:
+    """Pack a storage format into the header flags byte.
+
+    Class-default coefficient widths emit a bare ``0x00``/``0x01`` so
+    every message written before the explicit width bits existed — and
+    every new message in a default format — stays byte-identical.
+    Non-default widths get explicit 2-bit codes; formats the body layout
+    cannot represent at all raise :class:`CodecError` here, at encode
+    time, instead of producing a blob no decoder can parse.
+    """
+    if fmt.length_bytes != 2:
+        raise CodecError(
+            f"wire format requires a 2-byte length field, "
+            f"got {fmt.length_bytes}"
+        )
+    for name, width in (("slope", fmt.slope_bytes), ("intercept", fmt.intercept_bytes)):
+        if width not in _WIDTH_CODES:
+            raise CodecError(
+                f"wire format cannot store {width}-byte {name} coefficients "
+                f"(supported widths: 2, 3, 4)"
+            )
+    flags = _FLAG_INT8 if fmt.weight_bytes == 1 else 0
+    default = StorageFormat.int8() if flags else StorageFormat.float32()
+    if fmt.slope_bytes != default.slope_bytes:
+        flags |= _WIDTH_CODES[fmt.slope_bytes] << _SLOPE_SHIFT
+    if fmt.intercept_bytes != default.intercept_bytes:
+        flags |= _WIDTH_CODES[fmt.intercept_bytes] << _INTERCEPT_SHIFT
+    return flags
+
+
+def _format_from_flags(flags: int) -> StorageFormat:
+    """Inverse of :func:`_format_flags` (width code 0 = class default)."""
+    base = StorageFormat.int8() if flags & _FLAG_INT8 else StorageFormat.float32()
+    slope_code = (flags >> _SLOPE_SHIFT) & _WIDTH_MASK
+    intercept_code = (flags >> _INTERCEPT_SHIFT) & _WIDTH_MASK
+    if not (slope_code or intercept_code):
+        return base
+    return StorageFormat(
+        weight_bytes=base.weight_bytes,
+        slope_bytes=_CODE_WIDTHS.get(slope_code, base.slope_bytes),
+        intercept_bytes=_CODE_WIDTHS.get(intercept_code, base.intercept_bytes),
+    )
 
 
 def frame_trailer_bytes(num_segments: int) -> int:
@@ -128,7 +187,7 @@ def _frame_crcs(body: bytes, num_segments: int, segment_bytes: int) -> np.ndarra
 def encode(stream: CompressedStream) -> bytes:
     """Serialize a compressed stream to bytes (version 3, CRC-framed)."""
     fmt = stream.fmt
-    flags = _FLAG_INT8 if fmt.weight_bytes == 1 else 0
+    flags = _format_flags(fmt)
     n = stream.num_segments
     if stream.lengths.size and int(stream.lengths.max()) > fmt.max_segment_length:
         raise ValueError("segment length exceeds the storage format's length field")
@@ -156,7 +215,7 @@ def encode_legacy(stream: CompressedStream) -> bytes:
     framing version bump contain.  New code should use :func:`encode`.
     """
     fmt = stream.fmt
-    flags = _FLAG_INT8 if fmt.weight_bytes == 1 else 0
+    flags = _format_flags(fmt)
     n = stream.num_segments
     if stream.lengths.size and int(stream.lengths.max()) > fmt.max_segment_length:
         raise ValueError("segment length exceeds the storage format's length field")
@@ -218,7 +277,7 @@ def _parse(data: bytes, strict: bool) -> LenientStream:
         raise CodecError(f"unsupported version {version}")
     if flags & ~_KNOWN_FLAGS:
         raise CodecError(f"unknown format flags 0x{flags & ~_KNOWN_FLAGS:02x}")
-    fmt = StorageFormat.int8() if flags & _FLAG_INT8 else StorageFormat.float32()
+    fmt = _format_from_flags(flags)
     body_len = num_segments * fmt.segment_bytes
     expected = header_bytes + body_len + trailer_len
     if len(data) != expected:

@@ -18,11 +18,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .linefit import evaluate_lines, fit_segments
-from .segmentation import delta_from_percent, segment_boundaries
+from .segmentation import (
+    delta_from_percent,
+    segment_boundaries,
+    segment_greedy_reference,
+)
 
 __all__ = [
     "StorageFormat",
     "CompressedStream",
+    "SEGMENTERS",
     "compress",
     "compress_percent",
     "quantize_coefficient",
@@ -195,22 +200,39 @@ class CompressedStream:
         return float(np.mean(diff * diff)) if w.size else 0.0
 
 
+#: partitioning-rule implementations selectable by ``compress(segmenter=)``
+#: — an ``identical``-class ablation point: the vectorized partition must
+#: be boundary-identical to the sequential greedy reference
+SEGMENTERS = {
+    "vectorized": segment_boundaries,
+    "reference": segment_greedy_reference,
+}
+
+
 def compress(
     weights: np.ndarray,
     delta: float,
     fmt: StorageFormat | None = None,
+    segmenter: str = "vectorized",
 ) -> CompressedStream:
     """Compress a weight stream with absolute tolerance ``delta``.
 
     Implements the full Sec. III-B flow: weak-monotonic greedy
     segmentation, per-segment least-squares line fit, and the
-    three-field-per-segment storage model.
+    three-field-per-segment storage model.  ``segmenter`` selects the
+    partitioning-rule implementation (see :data:`SEGMENTERS`).
     """
     fmt = fmt or StorageFormat()
+    try:
+        segment = SEGMENTERS[segmenter]
+    except KeyError:
+        raise ValueError(
+            f"unknown segmenter {segmenter!r}; use {sorted(SEGMENTERS)}"
+        ) from None
     w = np.asarray(weights).ravel()
     if w.size and not np.isfinite(w).all():
         raise ValueError("weight stream contains non-finite values")
-    boundaries = segment_boundaries(w, delta)
+    boundaries = segment(w, delta)
     boundaries = _split_long_segments(boundaries, fmt.max_segment_length)
     m, q = fit_segments(w, boundaries)
     lengths = np.diff(boundaries)

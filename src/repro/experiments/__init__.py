@@ -11,6 +11,7 @@
 | ``table3_quantized``| Tab. III       | compression on top of int8 quantization  |
 | ``fault_campaign``  | (robustness)   | accuracy under bit errors, by storage arm|
 | ``fig_scale_matrix``| (scaling)      | compression on/off across NoC topologies |
+| ``fig_ablation``    | (design)       | baseline-vs-variant delta per feature    |
 
 Each module exposes ``run(fast=False)`` (structured results),
 ``render(results)`` (paper-style text) and ``main()`` (CLI).  The
@@ -25,6 +26,7 @@ from . import (
     fig3_entropy,
     fig9_sensitivity,
     fig10_tradeoff,
+    fig_ablation,
     fig_scale_matrix,
     table1_layers,
     table2_compression,
@@ -41,6 +43,7 @@ ALL_EXPERIMENTS = {
     "tab3": table3_quantized,
     "fig_fault_campaign": fault_campaign,
     "fig_scale_matrix": fig_scale_matrix,
+    "fig_ablation": fig_ablation,
 }
 
 __all__ = [
@@ -50,6 +53,7 @@ __all__ = [
     "fig3_entropy",
     "fig9_sensitivity",
     "fig10_tradeoff",
+    "fig_ablation",
     "fig_scale_matrix",
     "table1_layers",
     "table2_compression",

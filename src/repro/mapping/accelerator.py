@@ -79,6 +79,11 @@ class AcceleratorConfig:
     #: accelerator overlap the fused decode+MAC pipeline with the weight
     #: fetch (see ``repro.noc.pe`` / ``repro.noc.transaction``)
     streamed_decode: bool = False
+    #: drive flit-level runs with the retained naive reference stepper
+    #: (``NocSimulator.step_reference``) instead of the activity-scheduled
+    #: fast path — an ``identical``-class ablation hook: results must be
+    #: bit-equal either way, only wall time may differ
+    reference_stepper: bool = False
 
 
 @dataclass
@@ -236,7 +241,7 @@ class Accelerator:
                     ReadJob(job.dsts, job.nbytes, job.traffic_class)
                 )
 
-        stats = sim.run()
+        stats = sim.run(reference=c.reference_stepper)
         for pe_id, pe in pes.items():
             if not pe._inputs_ready():  # noqa: SLF001 - deliberate invariant check
                 raise RuntimeError(

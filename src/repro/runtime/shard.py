@@ -213,6 +213,7 @@ class LeaseManager:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._probe = self.store.root / f".clock-probe-{worker}"
 
     def _beat(self) -> None:
         while not self._stop.wait(self.heartbeat):
@@ -250,13 +251,37 @@ class LeaseManager:
         except OSError:
             pass
 
+    def _fs_now(self) -> float:
+        """"Now" on the clock that stamps lease mtimes.
+
+        Lease staleness is an mtime-age comparison, and on a shared
+        (network) filesystem mtimes come from the *server's* clock.
+        Measuring age against the local ``time.time()`` mixes the two
+        clock domains: a server clock lagging by more than ``ttl``
+        makes every freshly-heartbeated lease read as abandoned, and
+        survivors tombstone live claims.  Touching a probe file in the
+        store and reading its mtime keeps both sides of the comparison
+        on the one clock that stamped the lease.  Falls back to the
+        local clock when the probe cannot be written.
+        """
+        try:
+            self._probe.touch()
+            os.utime(self._probe)
+            return os.stat(self._probe).st_mtime
+        except OSError:
+            return time.time()
+
     def is_stale(self, shard: int) -> bool:
         """True when the lease exists but its heartbeat has lapsed."""
+        # probe first, then stat the lease: a heartbeat landing between
+        # the two can only make the lease *newer* than "now", which
+        # reads as fresh — the safe direction
+        now = self._fs_now()
         try:
             st = os.stat(self.store.lease_path(shard))
         except OSError:
             return False  # absent: claimable the normal way, not stale
-        return (time.time() - st.st_mtime) > self.ttl
+        return (now - st.st_mtime) > self.ttl
 
     def reclaim_if_stale(self, shard: int) -> bool:
         """Tombstone an expired lease; True if *this* call won the rename."""
@@ -277,6 +302,10 @@ class LeaseManager:
             held = list(self._held)
         for shard in held:
             self.release(shard)
+        try:
+            os.unlink(self._probe)
+        except OSError:
+            pass
 
 
 def _run_shard(

@@ -1,0 +1,1 @@
+"""Ablation harness tests."""

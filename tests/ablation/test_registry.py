@@ -1,0 +1,148 @@
+"""Feature registry, Feature validation, and AblationConfig round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ablation import (
+    IDENTICAL,
+    MEASURED,
+    AblationConfig,
+    AblationError,
+    DEFAULT_FEATURES,
+    DuplicateFeatureError,
+    Feature,
+    FeatureRegistry,
+    UnknownFeatureError,
+)
+
+
+def _noop_runner(workload: str, on: bool, fast: bool) -> dict:
+    return {"x": 1.0}
+
+
+def _feature(name: str, delta_class: str = IDENTICAL, **kw) -> Feature:
+    return Feature(
+        name=name,
+        delta_class=delta_class,
+        description="test feature",
+        toggle="test.toggle",
+        runner=_noop_runner,
+        workloads=kw.pop("workloads", ("w",)),
+        **kw,
+    )
+
+
+class TestFeature:
+    def test_bad_delta_class_rejected(self):
+        with pytest.raises(AblationError, match="delta_class"):
+            _feature("f", delta_class="approximate")
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(AblationError, match="workloads"):
+            _feature("f", workloads=())
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = FeatureRegistry()
+        f = reg.register(_feature("a.x"))
+        assert reg.get("a.x") is f
+        assert "a.x" in reg
+        assert len(reg) == 1
+
+    def test_collision_raises(self):
+        reg = FeatureRegistry()
+        reg.register(_feature("a.x"))
+        with pytest.raises(DuplicateFeatureError, match="a.x"):
+            reg.register(_feature("a.x"))
+
+    def test_unknown_feature_raises(self):
+        reg = FeatureRegistry()
+        reg.register(_feature("a.x"))
+        with pytest.raises(UnknownFeatureError, match="b.y"):
+            reg.get("b.y")
+        # reads as a sentence, not KeyError's quoted repr
+        try:
+            reg.get("b.y")
+        except UnknownFeatureError as exc:
+            assert str(exc).startswith("unknown feature")
+
+    def test_unknown_feature_is_key_error(self):
+        with pytest.raises(KeyError):
+            FeatureRegistry().get("nope")
+
+    def test_names_sorted_and_class_filter(self):
+        reg = FeatureRegistry()
+        reg.register(_feature("b.y", MEASURED))
+        reg.register(_feature("a.x", IDENTICAL))
+        assert reg.names() == ["a.x", "b.y"]
+        assert [f.name for f in reg.features(IDENTICAL)] == ["a.x"]
+        assert [f.name for f in reg.features(MEASURED)] == ["b.y"]
+        assert [f.name for f in reg] == ["a.x", "b.y"]
+        with pytest.raises(AblationError, match="delta_class"):
+            reg.features("bogus")
+
+
+class TestConfig:
+    def test_json_round_trip(self):
+        cfg = AblationConfig(
+            features=("a.x", "b.y"),
+            workloads=("gaussian",),
+            fast=True,
+            extra={"note": "nightly"},
+        )
+        back = AblationConfig.from_json(cfg.to_json())
+        assert back == cfg
+        # and the payload is plain JSON
+        doc = json.loads(cfg.to_json())
+        assert doc["features"] == ["a.x", "b.y"]
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(AblationError, match="unparseable"):
+            AblationConfig.from_json("{nope")
+        with pytest.raises(AblationError, match="object"):
+            AblationConfig.from_json("[1, 2]")
+        with pytest.raises(AblationError, match="unknown config keys"):
+            AblationConfig.from_json('{"featuers": []}')
+
+    def test_validate_unknown_feature(self):
+        reg = FeatureRegistry()
+        reg.register(_feature("a.x"))
+        AblationConfig(features=("a.x",)).validate(reg)
+        with pytest.raises(UnknownFeatureError):
+            AblationConfig(features=("a.x", "zz")).validate(reg)
+
+    def test_selected_defaults_to_all(self):
+        reg = FeatureRegistry()
+        reg.register(_feature("b.y"))
+        reg.register(_feature("a.x"))
+        assert [f.name for f in AblationConfig().selected(reg)] == ["a.x", "b.y"]
+        assert [
+            f.name for f in AblationConfig(features=("b.y",)).selected(reg)
+        ] == ["b.y"]
+
+
+class TestDefaultRegistry:
+    def test_covers_both_classes_broadly(self):
+        """The shipped registry feature-flags the major design choices:
+        at least 6 features (the fig_ablation acceptance floor), with
+        both delta classes populated."""
+        assert len(DEFAULT_FEATURES) >= 8
+        identical = DEFAULT_FEATURES.features(IDENTICAL)
+        measured = DEFAULT_FEATURES.features(MEASURED)
+        assert len(identical) >= 4
+        assert len(measured) >= 4
+        subsystems = {name.split(".")[0] for name in DEFAULT_FEATURES.names()}
+        assert {"core", "noc", "runtime", "mapping"} <= subsystems
+
+    def test_runners_are_module_level(self):
+        """Pool and shard workers resolve runners by pickling — every
+        registered runner must be an importable module-level callable."""
+        import importlib
+
+        for f in DEFAULT_FEATURES:
+            mod = importlib.import_module(f.runner.__module__)
+            assert getattr(mod, f.runner.__qualname__) is f.runner

@@ -1,0 +1,181 @@
+"""The ablation runner: delta tables, the zero-delta net, serialization.
+
+Fake-feature registries exercise the runner mechanics cheaply and
+deterministically; the serial == sharded identity test rides the real
+default registry (only registered features resolve by name inside
+shard workers).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.ablation import (
+    IDENTICAL,
+    MEASURED,
+    AblationConfig,
+    AblationError,
+    Feature,
+    FeatureRegistry,
+    IdenticalDeltaViolation,
+    run_ablation,
+)
+from repro.runtime import ResultCache
+
+
+# -- fake runners (module-level: mirrors the picklability convention) --------
+
+
+def run_stable(workload: str, on: bool, fast: bool) -> dict:
+    return {"value": 42.0, "digest": "abcd" * 8}
+
+
+def run_leaky(workload: str, on: bool, fast: bool) -> dict:
+    return {"value": 1.0 if on else 2.0, "digest": "on" if on else "off"}
+
+
+def run_shifted(workload: str, on: bool, fast: bool) -> dict:
+    return {"cr": 1.5 if on else 1.2, "mse": 0.1}
+
+
+def run_mismatched(workload: str, on: bool, fast: bool) -> dict:
+    return {"a": 1.0} if on else {"b": 1.0}
+
+
+def run_empty(workload: str, on: bool, fast: bool) -> dict:
+    return {}
+
+
+def _registry(*features: Feature) -> FeatureRegistry:
+    reg = FeatureRegistry()
+    for f in features:
+        reg.register(f)
+    return reg
+
+
+def _fake(name: str, runner, delta_class: str = IDENTICAL, **kw) -> Feature:
+    return Feature(
+        name=name,
+        delta_class=delta_class,
+        description="fake",
+        toggle="fake.toggle",
+        runner=runner,
+        workloads=kw.pop("workloads", ("w0",)),
+        **kw,
+    )
+
+
+class TestDeltaTable:
+    def test_identical_feature_passes(self):
+        reg = _registry(_fake("ok.f", run_stable))
+        report = run_ablation(registry=reg)
+        report.check_identical()
+        assert report.violations() == []
+        assert {r.metric for r in report.rows} == {"value", "digest"}
+        assert all(r.identical for r in report.rows)
+
+    def test_identical_violation_raises_naming_the_row(self):
+        reg = _registry(_fake("leak.f", run_leaky))
+        report = run_ablation(registry=reg)
+        assert len(report.violations()) == 2
+        with pytest.raises(IdenticalDeltaViolation, match=r"leak\.f\[w0\]"):
+            report.check_identical()
+
+    def test_measured_deltas_do_not_violate(self):
+        reg = _registry(_fake("m.f", run_shifted, MEASURED))
+        report = run_ablation(registry=reg)
+        report.check_identical()  # measured rows never violate
+        by_metric = {r.metric: r for r in report.rows}
+        assert by_metric["cr"].delta == pytest.approx(1.2 - 1.5)
+        assert by_metric["mse"].delta == 0.0
+        assert by_metric["mse"].identical
+
+    def test_default_off_feature_baselines_on_off(self):
+        reg = _registry(
+            _fake("off.f", run_leaky, MEASURED, default_on=False)
+        )
+        report = run_ablation(registry=reg)
+        row = {r.metric: r for r in report.rows}["value"]
+        assert row.baseline == 2.0  # default_on=False: baseline is off
+        assert row.variant == 1.0
+
+    def test_mismatched_metric_keys_raise(self):
+        reg = _registry(_fake("bad.f", run_mismatched, MEASURED))
+        with pytest.raises(AblationError, match="mismatched"):
+            run_ablation(registry=reg)
+
+    def test_empty_metrics_raise(self):
+        reg = _registry(_fake("empty.f", run_empty))
+        with pytest.raises(AblationError, match="non-empty"):
+            run_ablation(registry=reg)
+
+    def test_workload_filter(self):
+        reg = _registry(
+            _fake("f.a", run_stable, workloads=("w0", "w1", "w2"))
+        )
+        report = run_ablation(
+            AblationConfig(workloads=("w1",)), registry=reg
+        )
+        assert {r.workload for r in report.rows} == {"w1"}
+
+
+class TestReportSerialization:
+    def _report(self):
+        reg = _registry(
+            _fake("a.f", run_stable),
+            _fake("b.f", run_shifted, MEASURED),
+        )
+        return run_ablation(registry=reg)
+
+    def test_digest_is_deterministic(self):
+        assert self._report().digest() == self._report().digest()
+
+    def test_json_parses_with_counts(self):
+        doc = json.loads(self._report().to_json())
+        assert doc["violations"] == 0
+        assert len(doc["rows"]) == 4
+        assert len(doc["costs"]) == 2
+        assert {c["feature"] for c in doc["costs"]} == {"a.f", "b.f"}
+        assert all(c["baseline_seconds"] >= 0 for c in doc["costs"])
+
+    def test_csv_parses(self):
+        rows = list(csv.DictReader(io.StringIO(self._report().to_csv())))
+        assert len(rows) == 4
+        assert rows[0]["feature"] == "a.f"
+        assert {r["identical"] for r in rows} <= {"0", "1"}
+
+    def test_markdown_renders_every_row(self):
+        report = self._report()
+        md = report.render()
+        lines = md.splitlines()
+        assert len(lines) == 2 + len(report.rows)
+        assert "0 (bitwise)" in md  # the digest metric of a.f
+
+    def test_write_artifacts(self, tmp_path):
+        out = self._report().write(tmp_path / "abl")
+        assert json.loads((out / "ablation.json").read_text())["rows"]
+        assert (out / "ablation.csv").read_text().startswith("feature,")
+        assert (out / "ablation.md").read_text().startswith("| feature")
+
+
+class TestSerialShardedIdentity:
+    def test_serial_equals_sharded(self, tmp_path):
+        """The same config, run serially and on the sharded runtime,
+        must produce byte-identical delta tables (digest compares the
+        metric rows; wall-time costs legitimately differ)."""
+        cfg = AblationConfig(
+            features=("core.segmenter", "core.monotonicity"),
+            workloads=("gaussian", "adversarial"),
+            fast=True,
+        )
+        serial = run_ablation(cfg, jobs=1)
+        cache = ResultCache(root=tmp_path / "cache", enabled=True)
+        sharded = run_ablation(cfg, cache=cache, shards=3, shard_workers=2)
+        assert serial.digest() == sharded.digest()
+        # and a warm re-run out of the cache is still identical
+        rewarm = run_ablation(cfg, cache=cache, shards=3)
+        assert rewarm.digest() == serial.digest()

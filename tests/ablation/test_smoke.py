@@ -1,0 +1,29 @@
+"""Tier-1 zero-delta smoke: the identical class stays bitwise zero.
+
+This is the correctness net pinned into the default test run: every
+``identical``-class feature — cycle-skip fast path over a tiny LeNet
+layer, result cache, streamed decode, CRC framing, the vectorized
+segmenter — is toggled on a reduced workload and its delta table is
+asserted bitwise zero.  A failure here is a real bug in the toggled
+subsystem, not a flaky measurement (see the ``core.storage_format``
+wire-format bug this harness surfaced).
+"""
+
+from __future__ import annotations
+
+from repro.ablation import (
+    DEFAULT_FEATURES,
+    IDENTICAL,
+    AblationConfig,
+    run_ablation,
+)
+
+
+def test_identical_class_is_bitwise_zero():
+    names = tuple(f.name for f in DEFAULT_FEATURES.features(IDENTICAL))
+    assert "noc.cycle_skip" in names  # the tiny-LeNet-layer NoC arm
+    report = run_ablation(AblationConfig(features=names, fast=True), jobs=1)
+    report.check_identical()  # raises IdenticalDeltaViolation on any delta
+    assert report.rows, "smoke must compare at least one metric row"
+    assert all(r.delta_class == IDENTICAL for r in report.rows)
+    assert {r.feature for r in report.rows} == set(names)

@@ -61,6 +61,54 @@ class TestRoundTrip:
         np.testing.assert_array_equal(back.decompress(), stream.decompress())
         assert back.delta == stream.delta
 
+    def test_custom_format_roundtrip(self, rng):
+        """Regression: the wire format is self-describing.
+
+        Non-default coefficient widths used to encode fine and then
+        fail ``decode`` with "body size mismatch" — the flags byte only
+        recorded the int8 bit, so the reader assumed default widths.
+        (Surfaced by the ``core.storage_format`` ablation arm.)
+        """
+        w = rng.normal(size=3000).astype(np.float32)
+        for fmt in (
+            StorageFormat(slope_bytes=2, intercept_bytes=2),  # 6 B float16
+            StorageFormat(4, 4, 4, 2),  # 10 B full float32
+            StorageFormat(4, 2, 3, 2),  # asymmetric widths
+            StorageFormat(1, 3, 3, 2),  # int8 class, non-default widths
+        ):
+            stream = compress_percent(w, 8.0, fmt=fmt)
+            for blob in (codec.encode(stream), codec.encode_legacy(stream)):
+                back = codec.decode(blob, expected_weights=w.size)
+                assert back.fmt == fmt
+                mq, qq = stream.storage_coefficients()
+                np.testing.assert_array_equal(back.m, mq)
+                np.testing.assert_array_equal(back.q, qq)
+                np.testing.assert_array_equal(back.lengths, stream.lengths)
+
+    def test_default_formats_keep_legacy_flag_bytes(self, rng):
+        """Messages in the two historical formats stay byte-compatible:
+        width code 0 means "class default", so the flags byte is still
+        bare 0x00 / 0x01 and pre-fix readers parse them unchanged."""
+        w = rng.normal(size=500).astype(np.float32)
+        assert codec.encode(compress_percent(w, 5.0))[5] == 0x00
+        q = compress_percent(w, 5.0, fmt=StorageFormat.int8())
+        assert codec.encode(q)[5] == 0x01
+
+    def test_unrepresentable_format_fails_at_encode(self, rng):
+        """Formats the body layout cannot hold raise at encode time
+        instead of emitting a blob no decoder can parse."""
+        w = rng.normal(size=500).astype(np.float32)
+        for fmt, match in (
+            (StorageFormat(4, 5, 3, 2), "slope"),
+            (StorageFormat(4, 3, 1, 2), "intercept"),
+            (StorageFormat(4, 3, 3, 4), "length"),
+        ):
+            stream = compress_percent(w, 5.0, fmt=fmt)
+            with pytest.raises(CodecError, match=match):
+                codec.encode(stream)
+            with pytest.raises(CodecError, match=match):
+                codec.encode_legacy(stream)
+
     def test_empty_stream(self):
         stream = compress_percent(np.array([], dtype=np.float32), 0.0)
         back = codec.decode(codec.encode(stream))

@@ -26,7 +26,7 @@ class TestRegistry:
     def test_all_artifacts_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig2", "fig3", "tab1", "tab2", "fig9", "fig10", "tab3",
-            "fig_fault_campaign", "fig_scale_matrix",
+            "fig_fault_campaign", "fig_scale_matrix", "fig_ablation",
         }
 
     def test_every_experiment_has_run_and_render(self):

@@ -118,24 +118,18 @@ def test_scheduled_layer_matches_reference():
     assert_stats_equal(fast, ref)
 
 
-def test_run_model_flit_matches_reference(monkeypatch):
+def test_run_model_flit_matches_reference():
     """End-to-end: Accelerator.run_model in flit mode gives identical
-    per-layer latency/events whichever stepper drives the mesh."""
+    per-layer latency/events whichever stepper drives the mesh (the
+    ``reference_stepper`` config hook the ablation harness toggles)."""
+    from dataclasses import replace
+
+    from repro.mapping import AcceleratorConfig
 
     def run_model(reference):
         _reset_packet_ids()
-        if reference:
-            orig = NocSimulator.run
-            monkeypatch.setattr(
-                NocSimulator,
-                "run",
-                lambda self, max_cycles=10_000_000: orig(
-                    self, max_cycles, reference=True
-                ),
-            )
-        else:
-            monkeypatch.undo()
-        return Accelerator().run_model(zoo.lenet5.full(), mode="flit")
+        cfg = replace(AcceleratorConfig(), reference_stepper=reference)
+        return Accelerator(cfg).run_model(zoo.lenet5.full(), mode="flit")
 
     fast = run_model(False)
     ref = run_model(True)

@@ -211,6 +211,49 @@ class TestLeases:
         finally:
             lm.close()
 
+    def test_staleness_ignores_local_clock_skew(self, tmp_path, monkeypatch):
+        """Regression: staleness must be measured on the filesystem's
+        clock, not ``time.time()``.
+
+        On a shared filesystem, lease mtimes come from the server's
+        clock.  The old check compared them against the local clock, so
+        a local clock running ahead (here: +1000 s) made every freshly
+        written lease read as abandoned and live claims got tombstoned.
+        """
+        store = ShardStore(tmp_path)
+        holder = LeaseManager(store, "h", ttl=0.5)
+        watcher = LeaseManager(store, "w", ttl=0.5)
+        monkeypatch.setattr(time, "time", lambda real=time.time: real() + 1000.0)
+        try:
+            assert holder.try_claim(0)  # fresh mtime on the *fs* clock
+            assert not watcher.is_stale(0)
+            assert not watcher.reclaim_if_stale(0)
+            assert store.lease_path(0).exists()
+
+            # a genuinely abandoned lease still reclaims under the skew
+            store.lease_path(1).write_text("{}")
+            old = os.stat(store.lease_path(1)).st_mtime - 10
+            os.utime(store.lease_path(1), (old, old))
+            assert watcher.is_stale(1)
+            assert watcher.reclaim_if_stale(1)
+        finally:
+            holder.close()
+            watcher.close()
+
+    def test_staleness_falls_back_to_local_clock(self, tmp_path):
+        """With the probe unwritable (read-only store), the check
+        degrades to the pre-fix local-clock comparison."""
+        store = ShardStore(tmp_path)
+        store.lease_path(0).write_text("{}")
+        old = time.time() - 10
+        os.utime(store.lease_path(0), (old, old))
+        watcher = LeaseManager(store, "w", ttl=0.5)
+        watcher._probe = tmp_path / "no-such-dir" / "probe"
+        try:
+            assert watcher.is_stale(0)
+        finally:
+            watcher.close()
+
 
 # -- sharded == serial -------------------------------------------------------
 
